@@ -1,0 +1,48 @@
+"""Ablation: structural replication factor (DESIGN.md abl-replication).
+
+Replication multiplies storage but leaves query cost essentially flat —
+lookups contact one live replica per partition.  This is the property
+that makes P-Grid's fault tolerance cheap at query time (Section 2).
+"""
+
+import pytest
+
+from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.query.operators.base import OperatorContext
+from repro.bench.experiment import build_network
+from repro.bench.workload import make_workload, run_workload
+from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
+
+CORPUS_SIZE = 500
+PEERS = 256
+
+
+def _run(replication: int) -> tuple[int, int]:
+    config = StoreConfig(
+        seed=0,
+        replication=replication,
+        index_values=False,
+        index_schema_grams=False,
+    )
+    corpus = bible_triples(CORPUS_SIZE, seed=4)
+    strings = [str(t.value) for t in corpus]
+    network = build_network(corpus, PEERS, config)
+    queries = make_workload(strings, network.n_peers, repetitions=1, seed=4)
+    ctx = OperatorContext(network, strategy=SimilarityStrategy.QSAMPLE)
+    stats = run_workload(ctx, TEXT_ATTRIBUTE, queries, SimilarityStrategy.QSAMPLE)
+    return stats.messages, network.total_entries()
+
+
+@pytest.mark.parametrize("replication", [1, 2, 4])
+def test_replication_ablation(benchmark, replication):
+    messages, stored = benchmark.pedantic(
+        lambda: _run(replication), rounds=1, iterations=1
+    )
+    benchmark.extra_info["replication"] = replication
+    benchmark.extra_info["messages"] = messages
+    benchmark.extra_info["stored_entries"] = stored
+    print(f"\nk={replication}: messages={messages}, stored entries={stored}")
+    base_messages, base_stored = _run(1)
+    # Storage scales with k; query cost stays within a small factor.
+    assert stored == pytest.approx(replication * base_stored, rel=0.01)
+    assert messages < 3 * base_messages

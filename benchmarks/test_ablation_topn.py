@@ -1,0 +1,63 @@
+"""Ablation: top-N range estimation (DESIGN.md abl-topn).
+
+Algorithm 4's first probe is sized from local data density; load
+balancing makes that estimate representative, so most queries should
+finish in one or two range-query rounds.  This benchmark measures the
+round distribution and the per-query message cost across N.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import RankFunction, StoreConfig
+from repro.query.operators.base import OperatorContext
+from repro.query.operators.topn import top_n_numeric
+from repro.storage.triple import Triple
+from repro.bench.experiment import build_network
+
+ATTR = "reading:value"
+PEERS = 256
+VALUES = 3000
+
+
+def _network():
+    rng = random.Random(6)
+    triples = [
+        Triple(f"r:{i:05d}", ATTR, rng.gauss(500.0, 150.0)) for i in range(VALUES)
+    ]
+    config = StoreConfig(seed=0, index_values=False, index_schema_grams=False)
+    return build_network(triples, PEERS, config)
+
+
+@pytest.mark.parametrize("n", [5, 10, 15])
+def test_topn_round_efficiency(benchmark, n):
+    network = _network()
+    ctx = OperatorContext(network)
+    rng = random.Random(7)
+
+    def run_queries():
+        rounds = []
+        messages = []
+        for __ in range(10):
+            network.tracer.reset()
+            result = top_n_numeric(
+                ctx, ATTR, n, RankFunction.NN, reference=rng.gauss(500.0, 150.0)
+            )
+            assert len(result.matches) == n
+            rounds.append(result.rounds)
+            messages.append(network.tracer.message_count)
+        return rounds, messages
+
+    rounds, messages = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+    mean_rounds = sum(rounds) / len(rounds)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["mean_rounds"] = round(mean_rounds, 2)
+    benchmark.extra_info["mean_messages"] = round(sum(messages) / len(messages), 1)
+    print(
+        f"\nN={n}: mean rounds={mean_rounds:.2f}, "
+        f"mean messages={sum(messages) / len(messages):.1f}"
+    )
+    # Density estimation keeps probing short: three rounds on average
+    # would mean the estimate is systematically off.
+    assert mean_rounds <= 3.0

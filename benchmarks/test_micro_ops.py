@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot primitives (DESIGN.md micro).
+
+These use pytest-benchmark's normal calibration — each operation is
+microseconds, and the timings bound what the simulator can sweep.
+"""
+
+from repro.core.config import StoreConfig
+from repro.overlay.hashing import CompositeKeyCodec, OrderPreservingStringHash
+from repro.similarity.edit_distance import edit_distance, edit_distance_within
+from repro.storage.indexing import EntryFactory
+from repro.storage.qgrams import positional_qgrams, qgram_sample
+from repro.storage.triple import Triple
+
+from tests.conftest import TEXT_ATTR, build_word_network
+
+TITLE = "portrait of a young woman in blue near the mill after the rain"
+
+
+def test_edit_distance_words(benchmark):
+    assert benchmark(edit_distance, "similarity", "similarly") == 2
+
+
+def test_edit_distance_titles(benchmark):
+    other = TITLE.replace("blue", "red").replace("rain", "storm")
+    assert benchmark(edit_distance, TITLE, other) > 0
+
+
+def test_banded_edit_distance_rejects_fast(benchmark):
+    # The banded variant's selling point: distant strings abort early.
+    result = benchmark(edit_distance_within, TITLE, "x" * len(TITLE), 3)
+    assert result == 4
+
+
+def test_positional_qgrams_title(benchmark):
+    grams = benchmark(positional_qgrams, TITLE, 3)
+    assert len(grams) == len(TITLE) + 2
+
+
+def test_qgram_sample_title(benchmark):
+    sample = benchmark(qgram_sample, TITLE, 3, 3)
+    assert len(sample) == 4
+
+
+def test_order_preserving_hash(benchmark):
+    hasher = OrderPreservingStringHash(32)
+    assert len(benchmark(hasher.key, "similarity")) == 32
+
+
+def test_entry_generation(benchmark):
+    config = StoreConfig(seed=0)
+    factory = EntryFactory(config, CompositeKeyCodec(config))
+    triple = Triple("p:00001", "painting:title", TITLE)
+    entries = benchmark(lambda: list(factory.entries_for(triple)))
+    assert len(entries) > len(TITLE)
+
+
+def test_routing_walk(benchmark):
+    network = build_word_network(n_peers=64)
+    key = network.codec.attr_value_key(TEXT_ATTR, "cherry")
+
+    def route_once():
+        return network.router.route(key, 0)
+
+    peer = benchmark(route_once)
+    assert peer.responsible_for(key)
+
+
+def test_batched_route_many(benchmark):
+    network = build_word_network(n_peers=64)
+    from tests.conftest import WORDS
+
+    keys = [network.codec.attr_value_key(TEXT_ATTR, w) for w in WORDS]
+
+    def batch():
+        return network.router.route_many(keys, 0)
+
+    answers = benchmark(batch)
+    assert len(answers) == len(set(keys))

@@ -1,0 +1,65 @@
+"""Quickstart: store structured data in the overlay, query it by similarity.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a 64-peer P-Grid, loads a small word collection as vertical
+triples, and demonstrates the three query surfaces: the direct operator
+API (``similar``), VQL text queries, and cost introspection.
+"""
+
+from repro import StoreConfig, Triple, VerticalStore
+
+WORDS = [
+    "overlay", "overlap", "overall", "overload", "oversee",
+    "similar", "similarity", "simulate", "stimulate",
+    "structure", "structured", "strictured",
+    "peer", "pear", "pier", "peers",
+    "query", "queries", "quell",
+]
+
+
+def main() -> None:
+    # Each word becomes one object with two attributes.
+    triples = []
+    for index, word in enumerate(WORDS):
+        oid = f"word:{index:04d}"
+        triples.append(Triple(oid, "word:text", word))
+        triples.append(Triple(oid, "word:len", len(word)))
+
+    store = VerticalStore.build(
+        n_peers=64, triples=triples, config=StoreConfig(seed=42)
+    )
+    print(f"network: {store.n_peers} peers, "
+          f"{store.network.total_entries()} index entries\n")
+
+    # 1. Direct operator API: strings within edit distance 1 of a typo.
+    result = store.similar("overlai", "word:text", d=1)
+    print("similar('overlai', d=1):")
+    for match in result.matches:
+        print(f"  {match.matched!r}  (edit distance {match.distance:.0f})")
+    print(f"  cost: {store.last_cost().messages} messages, "
+          f"{store.last_cost().payload_bytes} bytes\n")
+
+    # 2. VQL: similarity predicate plus a numeric filter, top-3 longest.
+    query = """
+        SELECT ?w, ?l
+        WHERE { (?o,word:text,?w) (?o,word:len,?l)
+        FILTER (dist(?w,'similarity') <= 3) }
+        ORDER BY ?l DESC LIMIT 3
+    """
+    result = store.query(query)
+    print("VQL top-3 longest words within distance 3 of 'similarity':")
+    for row in result.rows:
+        print(f"  {row['w']!r} (length {row['l']})")
+    print(f"  cost: {result.cost.messages} messages")
+    print("\nphysical plan:")
+    print(result.plan.explain())
+
+    # 3. Session ledger.
+    print(f"\nsession stats: {store.stats.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — Similarity Queries on Structured Data in Structured Overlays.
+
+A complete Python reproduction of Karnstedt, Sattler, Hauswirth & Schmidt
+(ICDE 2006): vertical triple storage on a simulated P-Grid DHT, the VQL
+query language, q-gram string-similarity operators, similarity joins,
+rank-aware top-N queries, and the paper's Figure 1 evaluation harness.
+
+Quickstart::
+
+    from repro import StoreConfig, Triple, VerticalStore
+
+    triples = [Triple("w:0001", "word:text", "overlay")]
+    store = VerticalStore.build(n_peers=64, triples=triples)
+    hits = store.similar("overlai", "word:text", d=1)
+"""
+
+from repro.core.config import (
+    RankFunction,
+    SimilarityStrategy,
+    StoreConfig,
+    TrieBalancing,
+)
+from repro.core.errors import ReproError
+from repro.core.stats import QueryStats
+from repro.core.store import VerticalStore
+from repro.storage.schema import RelationSchema
+from repro.storage.triple import Triple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryStats",
+    "RankFunction",
+    "RelationSchema",
+    "ReproError",
+    "SimilarityStrategy",
+    "StoreConfig",
+    "TrieBalancing",
+    "Triple",
+    "VerticalStore",
+    "__version__",
+]

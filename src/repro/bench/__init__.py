@@ -1,0 +1,44 @@
+"""Evaluation harness: workloads, experiment cells, sweeps, reports."""
+
+from repro.bench.experiment import ALL_STRATEGIES, CellResult, build_network, run_cell
+from repro.bench.report import PANELS, format_panel, render_csv, shape_check, write_csv
+from repro.bench.sweep import (
+    DEFAULT_PEER_COUNTS,
+    PAPER_PEER_COUNTS,
+    SweepResult,
+    full_scale,
+    sweep,
+)
+from repro.bench.workload import (
+    JOIN_DISTANCES,
+    TOP_N_SIZES,
+    QueryKind,
+    WorkloadQuery,
+    make_workload,
+    run_query,
+    run_workload,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "CellResult",
+    "DEFAULT_PEER_COUNTS",
+    "JOIN_DISTANCES",
+    "PANELS",
+    "PAPER_PEER_COUNTS",
+    "QueryKind",
+    "SweepResult",
+    "TOP_N_SIZES",
+    "WorkloadQuery",
+    "build_network",
+    "format_panel",
+    "full_scale",
+    "make_workload",
+    "render_csv",
+    "run_cell",
+    "run_query",
+    "run_workload",
+    "shape_check",
+    "sweep",
+    "write_csv",
+]

@@ -1,0 +1,79 @@
+"""One experiment cell: (dataset, peer count) → per-strategy cost.
+
+A cell builds one network sized to the peer count, bulk-loads the
+dataset's index entries, and replays the same workload under each of the
+three strategies ("started each of the three methods successively").
+The network is shared across strategies exactly as in the paper — all
+index families are present regardless of which strategy queries them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.core.stats import QueryStats
+from repro.overlay.network import PGridNetwork
+from repro.query.operators.base import OperatorContext
+from repro.storage.triple import Triple
+from repro.bench.workload import WorkloadQuery, make_workload, run_workload
+
+#: Strategy order used in reports (mirrors the figure legends).
+ALL_STRATEGIES = (
+    SimilarityStrategy.QSAMPLE,
+    SimilarityStrategy.QGRAM,
+    SimilarityStrategy.NAIVE,
+)
+
+
+@dataclass
+class CellResult:
+    """Per-strategy workload statistics for one (dataset, n_peers) cell."""
+
+    n_peers: int
+    by_strategy: dict[SimilarityStrategy, QueryStats] = field(default_factory=dict)
+
+    def messages(self, strategy: SimilarityStrategy) -> int:
+        return self.by_strategy[strategy].messages
+
+    def megabytes(self, strategy: SimilarityStrategy) -> float:
+        return self.by_strategy[strategy].payload_megabytes
+
+
+def build_network(
+    triples: Sequence[Triple], n_peers: int, config: StoreConfig
+) -> PGridNetwork:
+    """Build a load-balanced network and place the dataset on it."""
+    probe = PGridNetwork(1, config)
+    sample_keys = [e.key for e in probe.entry_factory.entries_for_all(triples)]
+    network = PGridNetwork(n_peers, config, sample_keys=sample_keys)
+    network.insert_triples(triples)
+    return network
+
+
+def run_cell(
+    triples: Sequence[Triple],
+    attribute: str,
+    strings: Sequence[str],
+    n_peers: int,
+    config: StoreConfig | None = None,
+    repetitions: int = 40,
+    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+    workload: Sequence[WorkloadQuery] | None = None,
+) -> CellResult:
+    """Run the full strategy comparison for one peer count."""
+    config = config if config is not None else StoreConfig()
+    network = build_network(triples, n_peers, config)
+    if workload is None:
+        workload = make_workload(
+            strings, network.n_peers, repetitions=repetitions, seed=config.seed
+        )
+    result = CellResult(n_peers=n_peers)
+    for strategy in strategies:
+        network.tracer.reset()
+        ctx = OperatorContext(network, strategy=strategy)
+        result.by_strategy[strategy] = run_workload(
+            ctx, attribute, workload, strategy
+        )
+    return result

@@ -1,0 +1,120 @@
+"""Rendering sweep results as the paper's figure panels.
+
+Figure 1 has four panels — (messages | data volume) × (bible words |
+painting titles) — each with three curves (``qsamples``, ``qgrams``,
+``strings``) over the peer count.  :func:`format_panel` prints one panel
+as a text table with the same rows/series; :func:`write_csv` emits
+machine-readable output for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.core.config import SimilarityStrategy
+from repro.bench.experiment import ALL_STRATEGIES
+from repro.bench.sweep import SweepResult
+
+#: Figure panel ids and their (dataset, metric) coordinates.
+PANELS = {
+    "fig1a": ("bible", "messages"),
+    "fig1b": ("bible", "volume"),
+    "fig1c": ("titles", "messages"),
+    "fig1d": ("titles", "volume"),
+}
+
+PANEL_TITLES = {
+    "fig1a": "Figure 1(a): Messages (bible words)",
+    "fig1b": "Figure 1(b): Data volume (bible words)",
+    "fig1c": "Figure 1(c): Messages (painting titles)",
+    "fig1d": "Figure 1(d): Data volume (painting titles)",
+}
+
+
+def format_panel(
+    panel: str,
+    result: SweepResult,
+    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+) -> str:
+    """One panel as an aligned text table."""
+    __, metric = PANELS[panel]
+    lines = [PANEL_TITLES[panel]]
+    header = ["peers"] + [s.value for s in strategies]
+    rows: list[list[str]] = [header]
+    for cell in result.cells:
+        row = [str(cell.n_peers)]
+        for strategy in strategies:
+            if metric == "messages":
+                row.append(str(cell.messages(strategy)))
+            else:
+                row.append(f"{cell.megabytes(strategy):.3f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if metric == "volume":
+        lines.append("(data volume in MB of payload shipped by the whole workload)")
+    return "\n".join(lines)
+
+
+def render_csv(
+    result: SweepResult,
+    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+) -> str:
+    """Sweep results as CSV: one row per (peers, strategy)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["dataset", "peers", "strategy", "messages", "megabytes"])
+    for cell in result.cells:
+        for strategy in strategies:
+            writer.writerow(
+                [
+                    result.dataset,
+                    cell.n_peers,
+                    strategy.value,
+                    cell.messages(strategy),
+                    f"{cell.megabytes(strategy):.6f}",
+                ]
+            )
+    return buffer.getvalue()
+
+
+def write_csv(path: str, result: SweepResult) -> None:
+    """Write :func:`render_csv` output to a file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(render_csv(result))
+
+
+def shape_check(result: SweepResult) -> list[str]:
+    """Qualitative assertions about a sweep, as human-readable findings.
+
+    Checks the claims Figure 1 supports: the naive strategy grows with the
+    peer count while the q-gram strategies grow much slower, and q-samples
+    stay at or below q-grams.  Returns a list of findings (empty = every
+    expectation held).
+    """
+    findings: list[str] = []
+    naive = result.message_series(SimilarityStrategy.NAIVE)
+    qgram = result.message_series(SimilarityStrategy.QGRAM)
+    qsample = result.message_series(SimilarityStrategy.QSAMPLE)
+    if len(naive) >= 2:
+        naive_growth = naive[-1] / max(naive[0], 1)
+        qgram_growth = qgram[-1] / max(qgram[0], 1)
+        if naive_growth <= qgram_growth:
+            findings.append(
+                f"naive should outgrow qgrams: naive x{naive_growth:.1f} "
+                f"vs qgrams x{qgram_growth:.1f}"
+            )
+    if qsample[-1] > qgram[-1]:
+        findings.append(
+            f"qsamples should not exceed qgrams at scale: "
+            f"{qsample[-1]} vs {qgram[-1]}"
+        )
+    if naive[-1] <= qsample[-1]:
+        findings.append(
+            f"naive should be the most expensive at scale: "
+            f"{naive[-1]} vs qsamples {qsample[-1]}"
+        )
+    return findings

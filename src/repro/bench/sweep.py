@@ -1,0 +1,82 @@
+"""Peer-count sweeps — the x-axis of Figure 1.
+
+A sweep runs one experiment cell per peer count and collects, for every
+strategy, the two series the paper plots: total messages and total data
+volume of the whole workload.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.storage.triple import Triple
+from repro.bench.experiment import ALL_STRATEGIES, CellResult, run_cell
+
+#: Default peer counts (log-spaced, scaled down from the paper's
+#: 100..100000 so the default run finishes in minutes; see --full).
+DEFAULT_PEER_COUNTS = (128, 512, 2048, 8192)
+
+#: The paper's peer counts (log scale 100 .. 100000).
+PAPER_PEER_COUNTS = (100, 1_000, 10_000, 100_000)
+
+#: Environment variable that switches benchmarks to paper scale.
+FULL_SCALE_ENV = "REPRO_FULL_SCALE"
+
+
+def full_scale() -> bool:
+    """True when the environment requests paper-scale runs."""
+    return os.environ.get(FULL_SCALE_ENV, "") not in ("", "0", "false")
+
+
+@dataclass
+class SweepResult:
+    """All cells of one dataset sweep."""
+
+    dataset: str
+    cells: list[CellResult] = field(default_factory=list)
+
+    def peer_counts(self) -> list[int]:
+        return [cell.n_peers for cell in self.cells]
+
+    def message_series(self, strategy: SimilarityStrategy) -> list[int]:
+        return [cell.messages(strategy) for cell in self.cells]
+
+    def megabyte_series(self, strategy: SimilarityStrategy) -> list[float]:
+        return [cell.megabytes(strategy) for cell in self.cells]
+
+
+def sweep(
+    dataset: str,
+    triples: Sequence[Triple],
+    attribute: str,
+    strings: Sequence[str],
+    peer_counts: Sequence[int] = DEFAULT_PEER_COUNTS,
+    config: StoreConfig | None = None,
+    repetitions: int = 40,
+    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run the strategy comparison across peer counts."""
+    result = SweepResult(dataset=dataset)
+    for n_peers in peer_counts:
+        if progress is not None:
+            progress(f"{dataset}: {n_peers} peers ...")
+        cell = run_cell(
+            triples,
+            attribute,
+            strings,
+            n_peers,
+            config=config,
+            repetitions=repetitions,
+            strategies=strategies,
+        )
+        result.cells.append(cell)
+        if progress is not None:
+            parts = ", ".join(
+                f"{s.value}={cell.messages(s)}" for s in strategies
+            )
+            progress(f"{dataset}: {n_peers} peers -> messages: {parts}")
+    return result

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class KeyspaceError(ReproError):
+    """A binary key or key prefix is malformed or out of range."""
+
+
+class HashingError(ReproError):
+    """A value cannot be hashed into the key space."""
+
+
+class OverlayError(ReproError):
+    """The overlay network is in an invalid state."""
+
+
+class RoutingError(OverlayError):
+    """A lookup could not be routed to a responsible peer."""
+
+
+class PartitionUnreachableError(RoutingError):
+    """All replicas of a key-space partition are offline."""
+
+
+class StorageError(ReproError):
+    """A triple or index entry is invalid."""
+
+
+class SchemaError(StorageError):
+    """A relation schema or tuple violates its declared shape."""
+
+
+class QueryError(ReproError):
+    """Base class for query-processing errors."""
+
+
+class VQLSyntaxError(QueryError):
+    """The VQL query text could not be parsed.
+
+    Carries the character ``position`` of the offending token so tools can
+    point at the error location.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(QueryError):
+    """No valid physical plan exists for the query."""
+
+
+class ExecutionError(QueryError):
+    """A physical operator failed during execution."""

@@ -1,0 +1,59 @@
+"""The "bible words" dataset (synthetic stand-in).
+
+Paper, Section 6: "The first one comprises 106704 single words from the
+English bible, with word lengths from 5 to 14 and an average length of
+6.46."
+
+:func:`bible_words` synthesizes a corpus matching those statistics: the
+declared count of *distinct* words, lengths clipped to [5, 14], and a
+length law tuned so the sample mean lands on 6.46 ± a few hundredths.
+:func:`bible_triples` wraps the words as ``(oid, word:text, w)`` triples —
+single-attribute objects, exactly what "single words" means for the
+storage scheme.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.wordgen import WordGenerator, sample_lengths
+from repro.storage.triple import Triple
+
+#: Corpus statistics from the paper.
+PAPER_WORD_COUNT = 106_704
+MIN_LENGTH = 5
+MAX_LENGTH = 14
+PAPER_MEAN_LENGTH = 6.46
+
+#: The attribute under which words are stored.
+TEXT_ATTRIBUTE = "word:text"
+
+#: Length law fitted to the paper's mean (5–14, mean 6.46): mass decays
+#: roughly geometrically, as English word-length distributions do.
+_LENGTH_WEIGHTS: tuple[tuple[int, float], ...] = (
+    (5, 0.405),
+    (6, 0.25),
+    (7, 0.125),
+    (8, 0.085),
+    (9, 0.055),
+    (10, 0.034),
+    (11, 0.02),
+    (12, 0.012),
+    (13, 0.008),
+    (14, 0.006),
+)
+
+
+def bible_words(count: int = PAPER_WORD_COUNT, seed: int = 0) -> list[str]:
+    """``count`` distinct pseudo-English words with the paper's length law."""
+    rng = random.Random(seed)
+    lengths = sample_lengths(rng, count, _LENGTH_WEIGHTS)
+    return WordGenerator(seed + 1).unique_words(lengths)
+
+
+def bible_triples(count: int = PAPER_WORD_COUNT, seed: int = 0) -> list[Triple]:
+    """The word corpus as vertical triples, oids ``word:000000`` onwards."""
+    return [
+        Triple(f"word:{index:06d}", TEXT_ATTRIBUTE, word)
+        for index, word in enumerate(bible_words(count, seed))
+    ]

@@ -1,0 +1,126 @@
+"""The car/dealer example database of Section 3.
+
+Generates the two relations the paper's VQL examples run on —
+``car(name, hp, price, mileage, dealer)`` and ``dealer(dlrid, name,
+addr)`` — with the *heterogeneities* that motivate similarity operators
+injected deliberately:
+
+* instance level: a configurable fraction of car names carries a typo
+  (``"BMW"`` → ``"BWM"``, ``"Mercedes"`` → ``"Mrecedes"``, …);
+* schema level: a fraction of dealer records spells the id attribute
+  differently (``dlrid`` → ``dealerid`` / ``dlrld`` / ``dealid``) — the
+  typo-detection scenario of the paper's third example query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.schema import RelationSchema
+from repro.storage.triple import Triple
+
+CAR_SCHEMA = RelationSchema("car", ("name", "hp", "price", "mileage", "dealer"))
+DEALER_SCHEMA = RelationSchema("dealer", ("dlrid", "name", "addr"))
+
+_MAKES = (
+    ("bmw", 150, 620), ("audi", 110, 610), ("mercedes", 120, 630),
+    ("volkswagen", 75, 300), ("porsche", 300, 700), ("toyota", 70, 400),
+    ("honda", 75, 320), ("ferrari", 490, 800), ("volvo", 120, 450),
+    ("renault", 70, 280), ("peugeot", 70, 270), ("fiat", 65, 240),
+)
+
+_MODELS = (
+    "roadster", "sedan", "coupe", "estate", "cabrio", "touring", "sport",
+    "gt", "classic", "compact",
+)
+
+_STREETS = (
+    "main street", "elm street", "oak avenue", "station road", "mill lane",
+    "harbour way", "market square", "king street", "bridge road",
+)
+
+_CITIES = (
+    "ilmenau", "lausanne", "berlin", "geneva", "erfurt", "zurich", "jena",
+)
+
+#: Misspellings of the dealer-id attribute found "in the wild".
+DLRID_VARIANTS = ("dlrid", "dealerid", "dlrld", "dealid")
+
+
+@dataclass
+class CarDatabase:
+    """The generated relations plus their triples."""
+
+    car_rows: list[dict]
+    dealer_rows: list[dict]
+    triples: list[Triple]
+
+    @property
+    def car_count(self) -> int:
+        return len(self.car_rows)
+
+    @property
+    def dealer_count(self) -> int:
+        return len(self.dealer_rows)
+
+
+def _typo(word: str, rng: random.Random) -> str:
+    """One random edit: swap, drop, or duplicate a character."""
+    if len(word) < 2:
+        return word + word
+    kind = rng.randrange(3)
+    i = rng.randrange(len(word) - 1)
+    if kind == 0:  # transposition
+        return word[:i] + word[i + 1] + word[i] + word[i + 2 :]
+    if kind == 1:  # deletion
+        return word[:i] + word[i + 1 :]
+    return word[:i] + word[i] + word[i:]  # duplication
+
+
+def car_database(
+    n_cars: int = 200,
+    n_dealers: int = 20,
+    typo_rate: float = 0.1,
+    schema_typo_rate: float = 0.15,
+    seed: int = 0,
+) -> CarDatabase:
+    """Generate the example database with injected heterogeneity."""
+    rng = random.Random(seed)
+    dealer_rows: list[dict] = []
+    triples: list[Triple] = []
+    for serial in range(n_dealers):
+        dealer_id = f"d{serial:03d}"
+        id_attribute = (
+            rng.choice(DLRID_VARIANTS[1:])
+            if rng.random() < schema_typo_rate
+            else DLRID_VARIANTS[0]
+        )
+        row = {
+            id_attribute: dealer_id,
+            "name": f"{rng.choice(_CITIES)} motors {serial}",
+            "addr": f"{rng.randrange(1, 99)} {rng.choice(_STREETS)}, "
+            f"{rng.choice(_CITIES)}",
+        }
+        dealer_rows.append(row)
+        triples.extend(
+            DEALER_SCHEMA.tuple_to_triples(DEALER_SCHEMA.make_oid(serial), row)
+        )
+
+    car_rows: list[dict] = []
+    for serial in range(n_cars):
+        make, hp_lo, hp_hi = _MAKES[rng.randrange(len(_MAKES))]
+        name = f"{make} {rng.choice(_MODELS)}"
+        if rng.random() < typo_rate:
+            name = _typo(name, rng)
+        hp = rng.randrange(hp_lo, hp_hi)
+        row = {
+            "name": name,
+            "hp": hp,
+            "price": hp * rng.randrange(120, 260),
+            "mileage": rng.randrange(0, 250_000),
+            "dealer": f"d{rng.randrange(n_dealers):03d}",
+        }
+        car_rows.append(row)
+        triples.extend(CAR_SCHEMA.tuple_to_triples(CAR_SCHEMA.make_oid(serial), row))
+    return CarDatabase(car_rows=car_rows, dealer_rows=dealer_rows, triples=triples)

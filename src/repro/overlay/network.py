@@ -1,0 +1,266 @@
+"""The P-Grid network: peers, partitions, construction, and data placement.
+
+:class:`PGridNetwork` is the simulator's root object.  Building one
+
+1. carves the key space into partitions (uniform or data-aware trie),
+2. creates ``replication`` peers per partition and wires their replica
+   references,
+3. fills every peer's routing table with ``refs_per_level`` random
+   references into the complementary subtrie at each level (the
+   small-world construction of Section 2),
+4. and bulk-places index entries onto the peers responsible for them.
+
+The network owns the :class:`MessageTracer` so every router/operator built
+on top of it shares one cost ledger.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.core.config import StoreConfig, TrieBalancing
+from repro.core.errors import OverlayError
+from repro.overlay import keys as keyspace
+from repro.overlay import trie
+from repro.overlay.hashing import CompositeKeyCodec
+from repro.overlay.messages import MessageTracer
+from repro.overlay.peer import Peer
+from repro.overlay.routing import Partition, Router
+from repro.storage.indexing import EntryFactory, IndexEntry
+from repro.storage.triple import Triple
+
+
+class PGridNetwork:
+    """A complete simulated P-Grid overlay."""
+
+    def __init__(
+        self,
+        n_peers: int,
+        config: StoreConfig | None = None,
+        sample_keys: Sequence[str] | None = None,
+        tracer: MessageTracer | None = None,
+    ):
+        """Build a network of ``n_peers``.
+
+        ``sample_keys`` feeds the data-aware trie builder; pass the keys of
+        the data you are about to insert (or a sample of them) to get
+        P-Grid-style load balancing.  Omitting it — or selecting
+        ``TrieBalancing.UNIFORM`` — produces an evenly split trie.
+        """
+        if n_peers < 1:
+            raise OverlayError(f"need at least one peer, got {n_peers}")
+        self.config = config if config is not None else StoreConfig()
+        self.tracer = tracer if tracer is not None else MessageTracer()
+        self.codec = CompositeKeyCodec(self.config)
+        self.entry_factory = EntryFactory(self.config, self.codec)
+        self.rng = random.Random(self.config.seed)
+
+        k = self.config.replication
+        n_partitions = max(1, n_peers // k)
+        if self.config.balancing is TrieBalancing.DATA_AWARE and sample_keys:
+            paths = trie.data_aware_paths(
+                n_partitions, sample_keys, self.config.key_bits
+            )
+        else:
+            paths = trie.uniform_paths(n_partitions)
+        paths.sort()
+        trie.validate_cover(paths)
+        self._paths = paths
+        self.max_depth = max(len(p) for p in paths)
+        if self.max_depth > self.config.key_bits:
+            raise OverlayError(
+                f"trie depth {self.max_depth} exceeds key width "
+                f"{self.config.key_bits}; increase key_bits"
+            )
+
+        self.peers: list[Peer] = []
+        self.partitions: list[Partition] = []
+        for index, path in enumerate(paths):
+            peer_ids = []
+            for __ in range(k):
+                peer = Peer(len(self.peers), path)
+                self.peers.append(peer)
+                peer_ids.append(peer.peer_id)
+            self.partitions.append(Partition(index, path, peer_ids))
+            for peer_id in peer_ids:
+                self.peers[peer_id].replicas = [
+                    other for other in peer_ids if other != peer_id
+                ]
+        self._build_routing_tables()
+        self.router = Router(self, random.Random(self.config.seed + 1))
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_routing_tables(self) -> None:
+        """Wire ``refs_per_level`` random references per peer and level."""
+        refs_per_level = self.config.refs_per_level
+        for peer in self.peers:
+            for level in range(len(peer.path)):
+                sibling = keyspace.sibling_prefix(peer.path, level)
+                candidates = self._partition_range(sibling)
+                if not candidates:
+                    raise OverlayError(
+                        f"complementary subtrie {sibling!r} is empty — "
+                        "the trie cover is broken"
+                    )
+                refs: list[int] = []
+                for __ in range(min(refs_per_level, len(candidates))):
+                    partition = candidates[self.rng.randrange(len(candidates))]
+                    replica = partition.peer_ids[
+                        self.rng.randrange(len(partition.peer_ids))
+                    ]
+                    refs.append(replica)
+                peer.set_references(level, refs)
+
+    # -- oracle lookups (no message cost; used for placement & simulation) -----
+
+    def peer(self, peer_id: int) -> Peer:
+        return self.peers[peer_id]
+
+    def partition(self, index: int) -> Partition:
+        return self.partitions[index]
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.peers)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_for(self, key: str) -> Partition:
+        """The partition responsible for ``key`` (oracle bisection)."""
+        index = trie.find_responsible(self._paths, key)
+        return self.partitions[index]
+
+    def partitions_under(self, prefix: str) -> list[Partition]:
+        """All partitions whose path extends (or equals/prefixes) ``prefix``."""
+        return self._partition_range(prefix)
+
+    def partitions_in_range(self, lo_int: int, hi_int: int) -> list[Partition]:
+        """Partitions intersecting an integer key interval, in key order."""
+        bits = self.config.key_bits
+        result = []
+        for partition in self.partitions:
+            if keyspace.interval_overlaps_prefix(lo_int, hi_int, partition.path, bits):
+                result.append(partition)
+        return result
+
+    def _partition_range(self, prefix: str) -> list[Partition]:
+        """Partitions covered by ``prefix`` via bisection on sorted paths."""
+        lo = bisect.bisect_left(self._paths, prefix)
+        result: list[Partition] = []
+        index = lo
+        while index < len(self._paths) and self._paths[index].startswith(prefix):
+            result.append(self.partitions[index])
+            index += 1
+        if not result and lo > 0 and prefix.startswith(self._paths[lo - 1]):
+            # The prefix is *inside* a single coarser partition.
+            result.append(self.partitions[lo - 1])
+        return result
+
+    # -- data placement ----------------------------------------------------------
+
+    def insert_triples(self, triples: Iterable[Triple]) -> int:
+        """Index and place triples; returns the number of entries stored.
+
+        Placement is done with the oracle (no routed insert messages): the
+        paper's evaluation measures *query* cost, with publishing treated
+        as an offline bulk load.  :meth:`estimate_insert_messages` prices
+        the online publishing cost analytically.
+        """
+        per_partition: dict[int, list[IndexEntry]] = {}
+        count = 0
+        for entry in self.entry_factory.entries_for_all(triples):
+            index = trie.find_responsible(self._paths, entry.key)
+            per_partition.setdefault(index, []).append(entry)
+            count += 1
+        for index, entries in per_partition.items():
+            for peer_id in self.partitions[index].peer_ids:
+                self.peers[peer_id].store.add_bulk(entries)
+        return count
+
+    def insert_entry(self, entry: IndexEntry) -> None:
+        """Place one pre-built index entry (incremental insertion)."""
+        partition = self.partition_for(entry.key)
+        for peer_id in partition.peer_ids:
+            self.peers[peer_id].store.add(entry)
+
+    def publish_triple(self, triple: Triple, publisher_id: int) -> int:
+        """Online, routed publication of one triple's index entries.
+
+        Models what inserting data over the live overlay costs — the
+        overhead the paper's conclusion weighs ("the overhead of
+        additional overlay messages ... is linear in the number of
+        attribute columns"): the publisher batches the triple's entry
+        keys, contacts each responsible partition once (routed walk +
+        shower forwards), ships the entry payloads, and each partition
+        fans out to its replicas.  Returns the number of messages spent;
+        entries are actually stored, so the data is queryable afterwards.
+        """
+        entries = list(self.entry_factory.entries_for(triple))
+        before = self.tracer.message_count
+        answers = self.router.route_many(
+            (entry.key for entry in entries), publisher_id, phase="publish"
+        )
+        by_partition: dict[int, list[IndexEntry]] = {}
+        for entry in entries:
+            peer = answers[entry.key]
+            by_partition.setdefault(self.partition_for(peer.path).index, []).append(
+                entry
+            )
+        from repro.overlay.messages import MessageType
+
+        for index, partition_entries in by_partition.items():
+            partition = self.partitions[index]
+            payload = sum(e.payload_size() for e in partition_entries)
+            receiver = partition.peer_ids[0]
+            self.tracer.send(
+                MessageType.RESULT, publisher_id, receiver, payload, phase="publish"
+            )
+            for peer_id in partition.peer_ids:
+                self.peers[peer_id].store.add_bulk(partition_entries)
+                if peer_id != receiver:
+                    self.tracer.send(
+                        MessageType.FORWARD, receiver, peer_id, payload,
+                        phase="publish",
+                    )
+        return self.tracer.message_count - before
+
+    def publish_triples(self, triples: Iterable[Triple], publisher_id: int) -> int:
+        """Routed publication of many triples; returns total messages."""
+        return sum(self.publish_triple(t, publisher_id) for t in triples)
+
+    def estimate_insert_messages(self, triples: Iterable[Triple]) -> int:
+        """Messages an online, routed publish of ``triples`` would cost.
+
+        Each index entry requires one routed walk of expected
+        ``0.5 * log2(n_partitions)`` hops (Section 2), times the
+        replication factor for the final delivery.
+        """
+        import math
+
+        entries = sum(1 for __ in self.entry_factory.entries_for_all(triples))
+        expected_hops = 0.5 * math.log2(max(2, self.n_partitions))
+        return int(entries * (expected_hops + (self.config.replication - 1)))
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def load_distribution(self) -> list[int]:
+        """Entries stored per peer (load-balance diagnostic)."""
+        return [len(peer.store) for peer in self.peers]
+
+    def random_peer_id(self, rng: random.Random | None = None) -> int:
+        """Uniformly random online peer id (query initiators)."""
+        chooser = rng if rng is not None else self.rng
+        for __ in range(self.n_peers * 2):
+            candidate = chooser.randrange(self.n_peers)
+            if self.peers[candidate].online:
+                return candidate
+        raise OverlayError("could not find an online peer")
+
+    def total_entries(self) -> int:
+        """Total index entries across all peers (replicas counted)."""
+        return sum(len(peer.store) for peer in self.peers)

@@ -1,0 +1,87 @@
+"""Range queries over the trie — the shower algorithm of Datta et al. [6].
+
+Because the hash is order-preserving, a value interval maps to a key
+interval ``[lo_key, hi_key]`` and the partitions intersecting it are
+*contiguous* in the trie.  The query routes to the partition holding the
+lower bound and then showers through the remaining partitions with one
+``FORWARD`` message each; every contacted peer scans its local store for
+in-range entries.
+
+This is the substrate for numeric similarity (Section 4: "for similarity
+queries on numerical attributes we map the provided similarity measure to a
+corresponding interval and process them as range queries") and for the
+top-N operator's adaptive probing (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import RoutingError
+from repro.overlay import keys as keyspace
+from repro.overlay.messages import MessageType
+from repro.overlay.routing import Router
+from repro.storage.indexing import IndexEntry
+
+
+@dataclass
+class RangeQueryResult:
+    """Entries found in a key range plus the peers that served them."""
+
+    entries: list[IndexEntry]
+    contacted_peer_ids: list[int]
+    partitions_touched: int
+
+
+def range_query(
+    router: Router,
+    lo_key: str,
+    hi_key: str,
+    start_id: int,
+    phase: str = "range",
+    collect_results: bool = True,
+) -> RangeQueryResult:
+    """Execute one range query over ``[lo_key, hi_key]`` (inclusive).
+
+    ``lo_key``/``hi_key`` are full-width binary keys.  When
+    ``collect_results`` is true, each contacted peer returns its matches to
+    the initiator in one ``RESULT`` message (charged with the payload's
+    byte size); operators that post-process remotely can disable this and
+    account for shipping themselves.
+    """
+    if len(lo_key) != len(hi_key):
+        raise RoutingError(
+            f"range bounds must share a width: {lo_key!r} vs {hi_key!r}"
+        )
+    if lo_key > hi_key:
+        raise RoutingError(f"empty key range [{lo_key!r}, {hi_key!r}]")
+    network = router.network
+    lo_int = keyspace.key_to_int(lo_key)
+    hi_int = keyspace.key_to_int(hi_key)
+    partitions = network.partitions_in_range(lo_int, hi_int)
+    if not partitions:
+        raise RoutingError(f"no partition intersects [{lo_key!r}, {hi_key!r}]")
+
+    first = router.route(partitions[0].path, start_id, phase=phase)
+    contacted = [first]
+    for partition in partitions:
+        if partition.contains(first.peer_id):
+            continue
+        replica = router._live_replica(partition)
+        router.tracer.send(
+            MessageType.FORWARD, contacted[-1].peer_id, replica.peer_id, phase=phase
+        )
+        contacted.append(replica)
+
+    entries: list[IndexEntry] = []
+    for peer in contacted:
+        local = peer.store.range_scan(lo_key, hi_key)
+        entries.extend(local)
+        if collect_results and local:
+            payload = sum(entry.payload_size() for entry in local)
+            router.send_result(peer.peer_id, start_id, payload, phase=phase)
+    return RangeQueryResult(
+        entries=entries,
+        contacted_peer_ids=[peer.peer_id for peer in contacted],
+        partitions_touched=len(partitions),
+    )

@@ -1,0 +1,113 @@
+"""Replication analysis helpers.
+
+Structural replication (``k`` peers per partition) is wired directly into
+:class:`~repro.overlay.network.PGridNetwork`; this module provides the
+surrounding machinery: consistency checks, availability math, and repair
+after churn — the "robustness through redundancy" properties Section 2
+attributes to P-Grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.overlay.network import PGridNetwork
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of a replica consistency audit."""
+
+    partitions: int
+    replication: int
+    consistent: bool
+    divergent_partitions: list[int]
+
+
+def audit_replicas(network: PGridNetwork) -> ReplicationReport:
+    """Verify that all replicas of each partition store identical entries."""
+    divergent: list[int] = []
+
+    def signature(entry) -> tuple:
+        triple = entry.triple
+        return (
+            entry.key,
+            entry.kind.value,
+            triple.oid,
+            triple.attribute,
+            str(triple.value),
+            entry.gram or "",
+            entry.position,
+        )
+
+    for partition in network.partitions:
+        stores = [network.peer(pid).store for pid in partition.peer_ids]
+        reference = sorted(signature(e) for e in stores[0])
+        for store in stores[1:]:
+            other = sorted(signature(e) for e in store)
+            if other != reference:
+                divergent.append(partition.index)
+                break
+    return ReplicationReport(
+        partitions=network.n_partitions,
+        replication=network.config.replication,
+        consistent=not divergent,
+        divergent_partitions=divergent,
+    )
+
+
+def repair_partition(network: PGridNetwork, partition_index: int) -> int:
+    """Copy the union of replica contents back onto every replica.
+
+    Models P-Grid's anti-entropy repair; returns the number of entries
+    copied.  Only meaningful after failures have caused divergence (e.g.
+    inserts while a replica was offline).
+    """
+    partition = network.partition(partition_index)
+    union: dict[tuple, object] = {}
+    for peer_id in partition.peer_ids:
+        for entry in network.peer(peer_id).store:
+            union[(entry.key, entry.kind.value, entry.triple, entry.gram)] = entry
+    copied = 0
+    for peer_id in partition.peer_ids:
+        store = network.peer(peer_id).store
+        present = {
+            (e.key, e.kind.value, e.triple, e.gram) for e in store
+        }
+        missing = [entry for sig, entry in union.items() if sig not in present]
+        if missing:
+            store.add_bulk(missing)  # type: ignore[arg-type]
+            copied += len(missing)
+    return copied
+
+
+def partition_availability(replication: int, peer_failure_prob: float) -> float:
+    """Probability that at least one replica of a partition is online.
+
+    Independent failures: ``1 - f^k``.  Quantifies the paper's claim that
+    replication makes the ``Retrieve`` guarantee hold "if at least one peer
+    in each partition is reachable".
+    """
+    if not 0.0 <= peer_failure_prob <= 1.0:
+        raise ValueError(f"failure probability must be in [0,1], got {peer_failure_prob}")
+    return 1.0 - peer_failure_prob**replication
+
+
+def network_availability(
+    n_partitions: int, replication: int, peer_failure_prob: float
+) -> float:
+    """Probability that *every* partition keeps at least one live replica."""
+    return partition_availability(replication, peer_failure_prob) ** n_partitions
+
+
+def replicas_needed(peer_failure_prob: float, target_availability: float) -> int:
+    """Smallest k with ``partition_availability(k, f) >= target``."""
+    if not 0.0 < target_availability < 1.0:
+        raise ValueError("target availability must be in (0, 1)")
+    if peer_failure_prob <= 0.0:
+        return 1
+    if peer_failure_prob >= 1.0:
+        raise ValueError("availability target unreachable with certain failure")
+    k = math.log(1.0 - target_availability) / math.log(peer_failure_prob)
+    return max(1, math.ceil(k))

@@ -1,0 +1,263 @@
+"""Prefix routing — Algorithm 1 and its multicast/batched variants.
+
+The :class:`Router` executes lookups hop-by-hop through the peers' routing
+tables, charging one ``ROUTE`` message per hop to the network's tracer.
+Three primitives cover everything the operators need:
+
+* :meth:`Router.route` — Algorithm 1: walk to *a* peer responsible for a
+  key.  Each hop strictly extends the common prefix with the target key,
+  so the walk terminates in at most ``len(path)`` hops and, in a balanced
+  trie, takes ``O(0.5 log N)`` expected messages (Section 2).
+* :meth:`Router.multicast_prefix` — reach *every* partition under a key
+  prefix: route to the first one, then disseminate through the subtrie
+  with one ``FORWARD`` message per additional partition (the shower
+  pattern of [6]).
+* :meth:`Router.route_many` — the paper's batching optimization ("we
+  collect the calls to Retrieve() and contact peers only once"): a set of
+  keys is grouped by responsible partition and each partition is contacted
+  once.
+
+Failures: every partition has ``k`` replicas; the router picks a random
+*online* replica and falls back to the others, raising
+:class:`PartitionUnreachableError` only when a whole partition is dark.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.core.errors import PartitionUnreachableError, RoutingError
+from repro.overlay import keys as keyspace
+from repro.overlay.messages import MessageTracer, MessageType
+from repro.overlay.peer import Peer
+from repro.storage.indexing import IndexEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overlay.network import PGridNetwork
+
+#: Safety bound on routing hops; a correct trie never gets close.
+MAX_HOPS_FACTOR = 4
+
+
+class Router:
+    """Hop-by-hop query routing over a :class:`PGridNetwork`."""
+
+    def __init__(self, network: "PGridNetwork", rng: random.Random | None = None):
+        self.network = network
+        self.rng = rng if rng is not None else random.Random(network.config.seed + 1)
+
+    @property
+    def tracer(self) -> MessageTracer:
+        return self.network.tracer
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def route(self, key: str, start_id: int, phase: str = "route") -> Peer:
+        """Walk from ``start_id`` to a peer responsible for ``key``.
+
+        Implements Algorithm 1's control flow; returns the final peer.
+        Messages: one ``ROUTE`` per hop (the initiating peer's local
+        processing is free).
+        """
+        keyspace.validate_key(key)
+        peer = self.network.peer(start_id)
+        if not peer.online:
+            peer = self._reroute_from_offline(peer)
+        hops = 0
+        max_hops = MAX_HOPS_FACTOR * (self.network.max_depth + 1)
+        while not peer.responsible_for(key):
+            level = keyspace.common_prefix_len(peer.path, key)
+            next_peer = self._pick_reference(peer, level)
+            self.tracer.send(
+                MessageType.ROUTE, peer.peer_id, next_peer.peer_id, phase=phase
+            )
+            peer = next_peer
+            hops += 1
+            if hops > max_hops:
+                raise RoutingError(
+                    f"routing to {key!r} did not converge after {hops} hops"
+                )
+        return peer
+
+    def retrieve(
+        self, key: str, start_id: int, phase: str = "retrieve"
+    ) -> tuple[list[IndexEntry], Peer]:
+        """Algorithm 1's ``Retrieve``: entries whose key extends ``key``.
+
+        When ``key`` is at least as long as the responsible peer's path,
+        a single peer holds all matches; shorter (prefix) keys fan out to
+        every partition under the prefix via :meth:`multicast_prefix`.
+        Returns the matching entries and the peer that answered (the last
+        one, for multicasts).
+        """
+        peer = self.route(key, start_id, phase=phase)
+        if len(key) >= len(peer.path):
+            return list(peer.store.prefix_scan(key)), peer
+        entries: list[IndexEntry] = []
+        contacted = self.multicast_prefix(key, start_id, phase=phase)
+        for member in contacted:
+            entries.extend(member.store.prefix_scan(key))
+        return entries, contacted[-1] if contacted else peer
+
+    # -- multicast (shower) ---------------------------------------------------
+
+    def multicast_prefix(
+        self, prefix: str, start_id: int, phase: str = "multicast"
+    ) -> list[Peer]:
+        """Contact one live replica of every partition under ``prefix``.
+
+        Cost model of the shower algorithm [6]: ordinary routing to enter
+        the subtrie, then exactly one ``FORWARD`` message per additional
+        partition — dissemination reuses the trie's internal references,
+        so no partition is contacted twice.
+        """
+        partitions = self.network.partitions_under(prefix)
+        if not partitions:
+            raise RoutingError(f"no partition under prefix {prefix!r}")
+        first = self.route(partitions[0].path, start_id, phase=phase)
+        contacted = [first]
+        for partition in partitions:
+            if partition.contains(first.peer_id):
+                continue
+            replica = self._live_replica(partition)
+            self.tracer.send(
+                MessageType.FORWARD, contacted[-1].peer_id, replica.peer_id, phase=phase
+            )
+            contacted.append(replica)
+        return contacted
+
+    # -- batched retrieval ------------------------------------------------------
+
+    def route_many(
+        self, keys: Iterable[str], start_id: int, phase: str = "batch"
+    ) -> dict[str, Peer]:
+        """Route a batch of keys, contacting each responsible partition once.
+
+        Returns a map from key to the peer answering it.  Cost: one routed
+        walk to the nearest partition, then one ``FORWARD`` per further
+        partition (shower-style), instead of a full routed walk per key.
+        """
+        unique = sorted(set(keys))
+        if not unique:
+            return {}
+        by_partition: dict[int, list[str]] = defaultdict(list)
+        for key in unique:
+            partition = self.network.partition_for(key)
+            by_partition[partition.index].append(key)
+        answers: dict[str, Peer] = {}
+        previous: Peer | None = None
+        for index in sorted(by_partition):
+            partition = self.network.partition(index)
+            if previous is None:
+                peer = self.route(partition.path, start_id, phase=phase)
+            else:
+                peer = self._live_replica(partition)
+                self.tracer.send(
+                    MessageType.FORWARD, previous.peer_id, peer.peer_id, phase=phase
+                )
+            for key in by_partition[index]:
+                answers[key] = peer
+            previous = peer
+        return answers
+
+    def retrieve_many(
+        self, keys: Iterable[str], start_id: int, phase: str = "batch"
+    ) -> dict[str, list[IndexEntry]]:
+        """Batched ``Retrieve``: entries per key, partitions contacted once."""
+        answers = self.route_many(keys, start_id, phase=phase)
+        return {
+            key: list(peer.store.prefix_scan(key)) for key, peer in answers.items()
+        }
+
+    # -- explicit message accounting helpers -----------------------------------
+
+    def send_result(
+        self, sender: int, receiver: int, payload_bytes: int, phase: str = "result"
+    ) -> None:
+        """Charge one result-return message."""
+        self.tracer.send(
+            MessageType.RESULT, sender, receiver, payload_bytes, phase=phase
+        )
+
+    def send_delegate(
+        self, sender: int, receiver: int, payload_bytes: int, phase: str = "delegate"
+    ) -> None:
+        """Charge one plan-delegation message."""
+        self.tracer.send(
+            MessageType.DELEGATE, sender, receiver, payload_bytes, phase=phase
+        )
+
+    def send_broadcast(
+        self, sender: int, receiver: int, payload_bytes: int, phase: str = "broadcast"
+    ) -> None:
+        """Charge one naive-strategy broadcast message."""
+        self.tracer.send(
+            MessageType.BROADCAST, sender, receiver, payload_bytes, phase=phase
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pick_reference(self, peer: Peer, level: int) -> Peer:
+        """Random live routing reference at ``level`` (Algorithm 1 line 5)."""
+        refs = peer.references(level)
+        if not refs:
+            raise RoutingError(
+                f"peer {peer.peer_id} has no references at level {level}"
+            )
+        order = list(refs)
+        self.rng.shuffle(order)
+        for ref_id in order:
+            candidate = self.network.peer(ref_id)
+            if candidate.online:
+                return candidate
+            # Dead reference: try the replicas sharing its partition before
+            # giving up on the level (redundant routing entries, Section 2).
+            for replica_id in candidate.replicas:
+                replica = self.network.peer(replica_id)
+                if replica.online:
+                    return replica
+        raise PartitionUnreachableError(
+            f"all references of peer {peer.peer_id} at level {level} are offline"
+        )
+
+    def _live_replica(self, partition: "Partition") -> Peer:
+        """Random online peer of a partition."""
+        order = list(partition.peer_ids)
+        self.rng.shuffle(order)
+        for peer_id in order:
+            peer = self.network.peer(peer_id)
+            if peer.online:
+                return peer
+        raise PartitionUnreachableError(
+            f"partition {partition.path!r} has no online replica"
+        )
+
+    def _reroute_from_offline(self, peer: Peer) -> Peer:
+        """Restart from a live replica when the chosen initiator is down."""
+        for replica_id in peer.replicas:
+            replica = self.network.peer(replica_id)
+            if replica.online:
+                return replica
+        raise PartitionUnreachableError(
+            f"initiating peer {peer.peer_id} and all its replicas are offline"
+        )
+
+
+class Partition:
+    """One key-space partition: a leaf path plus its replica peers."""
+
+    __slots__ = ("index", "path", "peer_ids")
+
+    def __init__(self, index: int, path: str, peer_ids: Sequence[int]):
+        self.index = index
+        self.path = path
+        self.peer_ids = tuple(peer_ids)
+
+    def contains(self, peer_id: int) -> bool:
+        return peer_id in self.peer_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Partition({self.index}, {self.path!r}, peers={self.peer_ids})"

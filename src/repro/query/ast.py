@@ -1,0 +1,218 @@
+"""VQL abstract syntax — the Vertical Query Language of Section 3.
+
+VQL borrows SPARQL's surface syntax (SELECT–WHERE over triple patterns)
+but none of its graph semantics: patterns range over the vertical triple
+store, all conditions are conjunctive, and similarity is expressed with
+the ``dist()`` function inside ``FILTER`` clauses.  ``ORDER BY ?v NN
+'target'`` asks for nearest-neighbour ranking, and ``LIMIT``/``OFFSET``
+complete the rank-aware forms.
+
+The AST is deliberately small and immutable; the planner pattern-matches
+on it directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import QueryError
+from repro.storage.triple import ValueType
+
+
+# -- terms ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, written ``?name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term: string, int or float."""
+
+    value: ValueType
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+Term = Var | Const
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One ``(subject, predicate, object)`` pattern.
+
+    Any position may be a variable; a variable predicate is what enables
+    schema-level queries (``(?d, ?a, ?id)`` in the paper's third example).
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> set[str]:
+        return {
+            term.name
+            for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Var)
+        }
+
+    def __str__(self) -> str:
+        return f"({self.subject},{self.predicate},{self.object})"
+
+
+# -- filter expressions -----------------------------------------------------------
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators allowed in FILTER expressions."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+
+@dataclass(frozen=True)
+class DistCall:
+    """``dist(a, b)`` — edit distance for strings, |a-b| for numbers."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> set[str]:
+        return {t.name for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def __str__(self) -> str:
+        return f"dist({self.left},{self.right})"
+
+
+FilterOperand = Term | DistCall
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One FILTER condition: ``operand op operand``."""
+
+    left: FilterOperand
+    op: CompareOp
+    right: FilterOperand
+
+    def variables(self) -> set[str]:
+        result: set[str] = set()
+        for operand in (self.left, self.right):
+            if isinstance(operand, Var):
+                result.add(operand.name)
+            elif isinstance(operand, DistCall):
+                result |= operand.variables()
+        return result
+
+    def is_distance_predicate(self) -> bool:
+        """True for the canonical similarity shape ``dist(x, y) < d``."""
+        return isinstance(self.left, DistCall) and self.op in (
+            CompareOp.LT,
+            CompareOp.LE,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+# -- ordering ----------------------------------------------------------------------
+
+
+class SortDirection(enum.Enum):
+    ASC = "ASC"
+    DESC = "DESC"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``ORDER BY ?v [ASC|DESC]`` or ``ORDER BY ?v NN <const>``."""
+
+    variable: Var
+    direction: SortDirection = SortDirection.ASC
+    nn_target: Const | None = None
+
+    @property
+    def is_nearest_neighbour(self) -> bool:
+        return self.nn_target is not None
+
+    def __str__(self) -> str:
+        if self.nn_target is not None:
+            return f"ORDER BY {self.variable} NN {self.nn_target}"
+        return f"ORDER BY {self.variable} {self.direction.value}"
+
+
+# -- the query ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A complete VQL SELECT query."""
+
+    select: tuple[Var, ...]
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[Comparison, ...] = ()
+    order_by: OrderBy | None = None
+    limit: int | None = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.select:
+            raise QueryError("SELECT clause must name at least one variable")
+        if not self.patterns:
+            raise QueryError("WHERE clause must contain at least one pattern")
+        bound = self.pattern_variables()
+        unknown = [v.name for v in self.select if v.name not in bound]
+        if unknown:
+            raise QueryError(
+                f"selected variables not bound by any pattern: {unknown}"
+            )
+        for comparison in self.filters:
+            loose = comparison.variables() - bound
+            if loose:
+                raise QueryError(
+                    f"filter {comparison} uses unbound variables: {sorted(loose)}"
+                )
+        if self.order_by is not None and self.order_by.variable.name not in bound:
+            raise QueryError(
+                f"ORDER BY variable {self.order_by.variable} is unbound"
+            )
+        if self.limit is not None and self.limit < 0:
+            raise QueryError(f"LIMIT must be >= 0, got {self.limit}")
+        if self.offset < 0:
+            raise QueryError(f"OFFSET must be >= 0, got {self.offset}")
+
+    def pattern_variables(self) -> set[str]:
+        """All variable names bound by the WHERE patterns."""
+        names: set[str] = set()
+        for pattern in self.patterns:
+            names |= pattern.variables()
+        return names
+
+    def __str__(self) -> str:
+        parts = ["SELECT " + ",".join(str(v) for v in self.select)]
+        body = " ".join(str(p) for p in self.patterns)
+        body += "".join(f" FILTER ({f})" for f in self.filters)
+        parts.append("WHERE { " + body + " }")
+        if self.order_by is not None:
+            parts.append(str(self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)

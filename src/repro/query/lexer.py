@@ -1,0 +1,157 @@
+"""VQL tokenizer.
+
+Splits query text into a flat token stream for the recursive-descent
+parser.  The token set mirrors the paper's examples: keywords, variables
+(``?name``), identifiers (bare attribute names, possibly namespaced with
+``:``), single-quoted strings, numbers, comparison operators and
+punctuation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import VQLSyntaxError
+
+KEYWORDS = frozenset(
+    {"SELECT", "WHERE", "FILTER", "ORDER", "BY", "ASC", "DESC", "NN", "LIMIT", "OFFSET"}
+)
+
+#: Characters allowed inside bare identifiers.  ``:`` supports namespaces
+#: (``car:price``), ``_``/``-``/``.`` common attribute spellings.
+_IDENT_EXTRA = frozenset(":_-.")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    VAR = "var"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    OP = "op"  # < <= > >= = !=
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.type.value}:{self.text!r}@{self.position}"
+
+
+_PUNCT = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn VQL text into tokens; raises :class:`VQLSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if ch in "<>!=":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(TokenType.OP, ch + "=", i))
+                i += 2
+            elif ch == "!":
+                raise VQLSyntaxError("expected '=' after '!'", i)
+            else:
+                tokens.append(Token(TokenType.OP, ch, i))
+                i += 1
+            continue
+        if ch == "'":
+            tokens.append(_read_string(text, i))
+            i += len(tokens[-1].text) + 2 + tokens[-1].text.count("'")
+            continue
+        if ch.isdigit() or (ch in "+-" and i + 1 < n and text[i + 1].isdigit()):
+            token = _read_number(text, i)
+            tokens.append(token)
+            i += len(token.text)
+            continue
+        if ch == "?":
+            token = _read_var(text, i)
+            tokens.append(token)
+            i += len(token.text) + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            token = _read_ident(text, i)
+            tokens.append(token)
+            i += len(token.text)
+            continue
+        raise VQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> Token:
+    """Single-quoted string; a doubled quote ``''`` escapes a quote."""
+    i = start + 1
+    chars: list[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < len(text) and text[i + 1] == "'":
+                chars.append("'")
+                i += 2
+                continue
+            return Token(TokenType.STRING, "".join(chars), start)
+        chars.append(ch)
+        i += 1
+    raise VQLSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int) -> Token:
+    i = start
+    if text[i] in "+-":
+        i += 1
+    seen_dot = False
+    while i < len(text) and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # A trailing dot followed by a non-digit belongs to the next token.
+            if i + 1 >= len(text) or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    return Token(TokenType.NUMBER, text[start:i], start)
+
+
+def _read_var(text: str, start: int) -> Token:
+    i = start + 1
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    name = text[start + 1 : i]
+    if not name:
+        raise VQLSyntaxError("expected variable name after '?'", start)
+    return Token(TokenType.VAR, name, start)
+
+
+def _read_ident(text: str, start: int) -> Token:
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] in _IDENT_EXTRA):
+        i += 1
+    word = text[start:i]
+    if word.upper() in KEYWORDS:
+        return Token(TokenType.KEYWORD, word.upper(), start)
+    return Token(TokenType.IDENT, word, start)

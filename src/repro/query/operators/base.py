@@ -1,0 +1,185 @@
+"""Shared machinery for physical operators.
+
+An :class:`OperatorContext` bundles everything an operator needs to run
+against a network — router, codec, configuration, strategy and RNG — plus
+the two helpers every similarity operator ends with:
+
+* :meth:`OperatorContext.fetch_objects` — reconstruct complete objects
+  from their oids (the "build complete object o from T'" step of
+  Algorithm 2), charging delegation and result messages;
+* :class:`MatchedObject` — one result row: the reconstructed object, the
+  string/value that matched, and its distance to the query.
+
+The simulator enforces one discipline everywhere: a peer may only consult
+*its own* store; any information that crosses peers is charged to the
+tracer.  Gram entries deliberately do not expose the full source value to
+the gram-owning peer (the paper stores ``(oid, A, q)``, not the value), so
+final verification happens at the oid-owning peer, which legitimately
+stores the object's complete triples.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.core.errors import ExecutionError
+from repro.overlay.network import PGridNetwork
+from repro.overlay.routing import Router
+from repro.similarity.filters import FilterConfig
+from repro.storage.indexing import EntryKind
+from repro.storage.triple import Triple, ValueType
+
+#: Baseline size in bytes of a delegated query description (search string,
+#: attribute, distance, query id).  Added to delegation payloads.
+QUERY_HEADER_BYTES = 24
+
+
+@dataclass(frozen=True)
+class MatchedObject:
+    """One similarity-query result.
+
+    ``matched`` is the string (or attribute name, for schema-level queries)
+    that satisfied the predicate; ``distance`` its distance to the query
+    string; ``triples`` the complete reconstructed object.
+    """
+
+    oid: str
+    matched: str
+    distance: float
+    triples: tuple[Triple, ...]
+
+    def value_of(self, attribute: str) -> ValueType | None:
+        """Value of ``attribute`` in this object, or None when absent."""
+        for triple in self.triples:
+            if triple.attribute == attribute:
+                return triple.value
+        return None
+
+    def attributes(self) -> list[str]:
+        """All attribute names of this object."""
+        return sorted({t.attribute for t in self.triples})
+
+    def payload_size(self) -> int:
+        """Wire size of the complete object (result accounting)."""
+        return sum(t.payload_size() for t in self.triples)
+
+
+@dataclass
+class OperatorContext:
+    """Execution context shared by all physical operators."""
+
+    network: PGridNetwork
+    strategy: SimilarityStrategy | None = None
+    filters: FilterConfig = field(default_factory=FilterConfig)
+    rng: random.Random | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy is None:
+            self.strategy = self.network.config.strategy
+        if self.rng is None:
+            self.rng = random.Random(self.network.config.seed + 2)
+        if self.filters is None:  # pragma: no cover - defensive
+            self.filters = FilterConfig()
+
+    @property
+    def config(self) -> StoreConfig:
+        return self.network.config
+
+    @property
+    def router(self) -> Router:
+        return self.network.router
+
+    @property
+    def codec(self):
+        return self.network.codec
+
+    def random_initiator(self) -> int:
+        """Pick a random online peer to initiate a query."""
+        return self.network.random_peer_id(self.rng)
+
+    # -- object reconstruction ---------------------------------------------------
+
+    def fetch_objects(
+        self,
+        oids: Iterable[str],
+        delegating_peer_id: int,
+        initiator_id: int,
+        phase: str = "oid_lookup",
+        query_bytes: int = QUERY_HEADER_BYTES,
+        seen_partitions: set[tuple[int, str]] | None = None,
+    ) -> dict[str, tuple[Triple, ...]]:
+        """Reconstruct complete objects for ``oids``.
+
+        Models the paper's delegated flow: the delegating peer routes one
+        batched request to each oid-owning partition (shower-batched), and
+        each oid peer returns the requested objects to the *initiator* in
+        one result message.
+
+        ``seen_partitions`` (a per-query memo of ``(partition, oid)``
+        pairs) suppresses duplicate answers when several gram peers
+        delegate the same oid — an oid peer recognizes a query id it has
+        already served and stays silent.  Delegation messages themselves
+        are still charged (the duplicate request does travel).
+        """
+        router = self.router
+        unique_oids = sorted(set(oids))
+        if not unique_oids:
+            return {}
+        key_to_oid = {self.codec.oid_key(oid): oid for oid in unique_oids}
+        if len(key_to_oid) != len(unique_oids):
+            raise ExecutionError("oid key collision — increase key_bits")
+        answers = router.route_many(
+            key_to_oid.keys(), delegating_peer_id, phase=phase
+        )
+        objects: dict[str, tuple[Triple, ...]] = {}
+        by_peer: dict[int, list[str]] = defaultdict(list)
+        for key, peer in answers.items():
+            by_peer[peer.peer_id].append(key)
+        for peer_id, keys in by_peer.items():
+            peer = self.network.peer(peer_id)
+            router.send_delegate(
+                delegating_peer_id,
+                peer_id,
+                query_bytes + sum(len(key_to_oid[k]) for k in keys),
+                phase=phase,
+            )
+            fresh_triples: list[Triple] = []
+            for key in keys:
+                oid = key_to_oid[key]
+                entries = peer.store.lookup(key)
+                triples = tuple(
+                    sorted(
+                        {
+                            e.triple
+                            for e in entries
+                            if e.kind is EntryKind.OID and e.triple.oid == oid
+                        },
+                        key=lambda t: (t.attribute, str(t.value)),
+                    )
+                )
+                if not triples:
+                    continue
+                objects[oid] = triples
+                partition = self.network.partition_for(key)
+                if seen_partitions is not None:
+                    signature = (partition.index, oid)
+                    if signature in seen_partitions:
+                        continue
+                    seen_partitions.add(signature)
+                fresh_triples.extend(triples)
+            if fresh_triples:
+                payload = sum(t.payload_size() for t in fresh_triples)
+                router.send_result(peer_id, initiator_id, payload, phase=phase)
+        return objects
+
+
+def object_from_triples(triples: Sequence[Triple]) -> dict[str, list[ValueType]]:
+    """Group an object's triples into an ``attribute -> values`` mapping."""
+    grouped: dict[str, list[ValueType]] = defaultdict(list)
+    for triple in triples:
+        grouped[triple.attribute].append(triple.value)
+    return dict(grouped)

@@ -1,0 +1,138 @@
+"""Exact-match operators — lookups and joins over the vertical scheme.
+
+These are the "already implemented and evaluated" operations the paper
+builds on ([10], Section 3): object lookup via ``key(oid)``, selection via
+``key(A#v)``, keyword lookup via ``key(v)``, attribute scans via the
+attribute prefix, and exact equi-joins between triple sets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.query.operators.base import MatchedObject, OperatorContext
+from repro.storage.indexing import EntryKind
+from repro.storage.triple import Triple, ValueType
+
+
+def lookup_object(
+    ctx: OperatorContext, oid: str, initiator_id: int | None = None
+) -> tuple[Triple, ...]:
+    """Fetch the complete object stored under ``key(oid)``."""
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    objects = ctx.fetch_objects(
+        [oid], delegating_peer_id=initiator_id, initiator_id=initiator_id,
+        phase="exact",
+    )
+    return objects.get(oid, ())
+
+
+def select_equals(
+    ctx: OperatorContext,
+    attribute: str,
+    value: ValueType,
+    initiator_id: int | None = None,
+    fetch_full_objects: bool = True,
+) -> list[MatchedObject]:
+    """Selection ``attribute = value`` via one routed ``key(A#v)`` lookup.
+
+    Composite keys can collide (truncated hashes), so the answering peer
+    verifies attribute and value before returning anything.
+    """
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    key = ctx.codec.attr_value_key(attribute, value)
+    entries, peer = ctx.router.retrieve(key, initiator_id, phase="exact")
+    hits = [
+        entry.triple
+        for entry in entries
+        if entry.kind is EntryKind.ATTR_VALUE
+        and entry.triple.attribute == attribute
+        and entry.triple.value == value
+    ]
+    if hits:
+        payload = sum(t.payload_size() for t in hits)
+        ctx.router.send_result(peer.peer_id, initiator_id, payload, phase="exact")
+    if not fetch_full_objects:
+        return [
+            MatchedObject(t.oid, str(t.value), 0.0, (t,)) for t in hits
+        ]
+    objects = ctx.fetch_objects(
+        {t.oid for t in hits},
+        delegating_peer_id=peer.peer_id,
+        initiator_id=initiator_id,
+        phase="exact",
+    )
+    return sorted(
+        (
+            MatchedObject(t.oid, str(t.value), 0.0, objects.get(t.oid, (t,)))
+            for t in hits
+        ),
+        key=lambda m: m.oid,
+    )
+
+
+def keyword_lookup(
+    ctx: OperatorContext, value: ValueType, initiator_id: int | None = None
+) -> list[Triple]:
+    """Keyword query "any attribute = value" via ``key(v)``."""
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    key = ctx.codec.value_key(value)
+    entries, peer = ctx.router.retrieve(key, initiator_id, phase="exact")
+    hits = [
+        entry.triple
+        for entry in entries
+        if entry.kind is EntryKind.VALUE and entry.triple.value == value
+    ]
+    if hits:
+        payload = sum(t.payload_size() for t in hits)
+        ctx.router.send_result(peer.peer_id, initiator_id, payload, phase="exact")
+    return sorted(hits, key=lambda t: (t.oid, t.attribute))
+
+
+def scan_attribute(
+    ctx: OperatorContext, attribute: str, initiator_id: int | None = None
+) -> list[Triple]:
+    """All triples of one attribute: multicast over the attribute region.
+
+    Charges one result message per contributing peer — this is the
+    expensive full-scan fallback the planner avoids whenever it can.
+    """
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    prefix = ctx.codec.attr_prefix(attribute)
+    peers = ctx.router.multicast_prefix(prefix, initiator_id, phase="scan")
+    triples: list[Triple] = []
+    for peer in peers:
+        local = [
+            entry.triple
+            for entry in peer.store.prefix_scan(prefix)
+            if entry.kind is EntryKind.ATTR_VALUE
+            and entry.triple.attribute == attribute
+        ]
+        if local:
+            payload = sum(t.payload_size() for t in local)
+            ctx.router.send_result(peer.peer_id, initiator_id, payload, phase="scan")
+            triples.extend(local)
+    return sorted(triples, key=lambda t: (t.oid, str(t.value)))
+
+
+def equi_join(
+    left: Sequence[Triple], right: Sequence[Triple]
+) -> list[tuple[Triple, Triple]]:
+    """Local exact join on triple values (executed at the initiator).
+
+    Joining *collected* triple sets is a local operation; the network cost
+    was already paid when the inputs were retrieved.
+    """
+    by_value: dict[ValueType, list[Triple]] = defaultdict(list)
+    for triple in right:
+        by_value[triple.value].append(triple)
+    pairs: list[tuple[Triple, Triple]] = []
+    for triple in left:
+        for partner in by_value.get(triple.value, ()):
+            pairs.append((triple, partner))
+    return pairs

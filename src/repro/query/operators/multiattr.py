@@ -1,0 +1,138 @@
+"""Multi-attribute similarity queries (Section 4, opening paragraph).
+
+"Queries on multiple attributes can be handled, for instance, by
+processing separate sub-queries and intersecting the results" — this
+module implements exactly that composition:
+
+* :func:`similar_all` — conjunctive multi-attribute string similarity:
+  one ``Similar`` sub-query per (attribute, search string, d) predicate,
+  intersected on oid;
+* :func:`euclidean_similar` — multi-attribute numeric similarity under
+  the Euclidean distance: the ball is covered by one range sub-query per
+  dimension (its bounding box), intersected, then the exact Euclidean
+  distance is verified on the surviving candidates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.config import SimilarityStrategy
+from repro.core.errors import ExecutionError
+from repro.query.operators.base import MatchedObject, OperatorContext
+from repro.query.operators.range_scan import select_range
+from repro.query.operators.similar import similar
+from repro.similarity.numeric import euclidean_box, euclidean_distance
+
+
+@dataclass(frozen=True)
+class StringPredicate:
+    """One instance-level predicate: ``dist(attribute, search) <= d``."""
+
+    attribute: str
+    search: str
+    d: int
+
+
+def similar_all(
+    ctx: OperatorContext,
+    predicates: Sequence[StringPredicate],
+    initiator_id: int | None = None,
+    strategy: SimilarityStrategy | None = None,
+) -> list[MatchedObject]:
+    """Objects satisfying *all* string-similarity predicates.
+
+    Sub-queries run in ascending selectivity order (smallest ``d`` first)
+    so the intersection shrinks early; each sub-query is a full
+    ``Similar`` and its cost is charged normally.  Returned matches carry
+    the first predicate's matched value and distance.
+    """
+    if not predicates:
+        raise ExecutionError("similar_all needs at least one predicate")
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    ordered = sorted(predicates, key=lambda p: (p.d, p.attribute))
+    surviving: dict[str, MatchedObject] | None = None
+    for predicate in ordered:
+        result = similar(
+            ctx,
+            predicate.search,
+            predicate.attribute,
+            predicate.d,
+            initiator_id,
+            strategy=strategy,
+        )
+        found = {m.oid: m for m in result.matches}
+        if surviving is None:
+            surviving = found
+        else:
+            surviving = {
+                oid: match for oid, match in surviving.items() if oid in found
+            }
+        if not surviving:
+            return []
+    assert surviving is not None
+    return sorted(surviving.values(), key=lambda m: (m.distance, m.oid))
+
+
+def euclidean_similar(
+    ctx: OperatorContext,
+    attributes: Sequence[str],
+    center: Sequence[float],
+    distance: float,
+    initiator_id: int | None = None,
+) -> list[MatchedObject]:
+    """Objects whose attribute vector lies within Euclidean ``distance``.
+
+    One range sub-query per dimension covers the ball's bounding box;
+    candidates present in every dimension are fetched and the exact
+    Euclidean distance is verified — the box is over-inclusive, never
+    lossy (see :func:`repro.similarity.numeric.euclidean_box`).
+    """
+    if len(attributes) != len(center):
+        raise ExecutionError(
+            f"{len(attributes)} attributes vs {len(center)}-dimensional center"
+        )
+    if not attributes:
+        raise ExecutionError("euclidean_similar needs at least one attribute")
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    box = euclidean_box(center, distance)
+    candidate_values: dict[str, dict[str, float]] = {}
+    for attribute, interval in zip(attributes, box):
+        triples = select_range(ctx, attribute, interval, initiator_id)
+        dimension_hits = {t.oid: float(t.value) for t in triples}
+        if not candidate_values:
+            candidate_values = {
+                oid: {attribute: value} for oid, value in dimension_hits.items()
+            }
+        else:
+            candidate_values = {
+                oid: {**values, attribute: dimension_hits[oid]}
+                for oid, values in candidate_values.items()
+                if oid in dimension_hits
+            }
+        if not candidate_values:
+            return []
+
+    objects = ctx.fetch_objects(
+        candidate_values.keys(),
+        delegating_peer_id=initiator_id,
+        initiator_id=initiator_id,
+        phase="range",
+    )
+    matches = []
+    for oid, values in candidate_values.items():
+        vector = [values[a] for a in attributes]
+        actual = euclidean_distance(vector, center)
+        if actual <= distance:
+            matches.append(
+                MatchedObject(
+                    oid=oid,
+                    matched=",".join(str(v) for v in vector),
+                    distance=actual,
+                    triples=objects.get(oid, ()),
+                )
+            )
+    return sorted(matches, key=lambda m: (m.distance, m.oid))

@@ -1,0 +1,135 @@
+"""The naive string-similarity baseline (Section 4).
+
+"A naive approach to process string similarity is to send a query to each
+peer which is responsible for a part of the strings to be compared.  The
+contacted peers then compare the queried string to the data available
+locally and send matching results back to the peer having initiated the
+query."
+
+Instance level: the strings to be compared are the values of attribute
+``a``, i.e. every peer whose partition intersects the ``key(a#·)`` region.
+Schema level: attribute names live in *every* stored triple, so the whole
+network has to be contacted.
+
+The broadcast itself scales linearly with the number of peers (the region
+is a constant fraction of a load-balanced network) — the behaviour
+Figure 1 shows for the ``strings`` curves.  After local comparison, the
+matching peers return ``(oid, value)`` pairs and the initiator batch-
+fetches the complete objects, so the final result is identical in shape
+to the q-gram strategies'.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ExecutionError
+from repro.query.operators.base import (
+    QUERY_HEADER_BYTES,
+    MatchedObject,
+    OperatorContext,
+)
+from repro.query.operators.similar import SimilarResult
+from repro.similarity.edit_distance import edit_distance_within
+from repro.storage.indexing import EntryKind
+
+
+def naive_similar(
+    ctx: OperatorContext,
+    s: str,
+    attribute: str,
+    d: int,
+    initiator_id: int | None = None,
+) -> SimilarResult:
+    """Run the naive broadcast variant of ``Similar(s, a, d)``."""
+    if d < 0:
+        raise ExecutionError(f"similarity distance must be >= 0, got {d}")
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    schema_level = attribute == ""
+
+    # Broadcast the query into the region holding the compared strings.
+    if schema_level:
+        region_prefix = ""  # attribute names occur everywhere
+    else:
+        region_prefix = ctx.codec.attr_prefix(attribute)
+    peers = ctx.router.multicast_prefix(
+        region_prefix, initiator_id, phase="broadcast"
+    )
+    # The query string travels with every broadcast message; charge its
+    # size once per contacted peer on top of the multicast accounting.
+    for peer in peers:
+        ctx.router.send_broadcast(
+            initiator_id, peer.peer_id, QUERY_HEADER_BYTES + len(s), phase="broadcast"
+        )
+
+    # Local comparison at every contacted peer.
+    result = SimilarResult(matches=[])
+    hits: dict[str, tuple[int, str]] = {}
+    local_comparisons = 0
+    max_peer_comparisons = 0
+    for peer in peers:
+        matched_here: list[tuple[str, str, int]] = []
+        # A region peer compares only its slice of the attribute's values
+        # (its ATTR_VALUE entries under the region prefix); schema-level
+        # queries have no narrowing prefix and scan the whole store.
+        local_entries = (
+            peer.store if schema_level else peer.store.prefix_scan(region_prefix)
+        )
+        peer_comparisons = 0
+        for entry in local_entries:
+            candidate = _comparable_string(entry, attribute, schema_level)
+            if candidate is None:
+                continue
+            local_comparisons += 1
+            peer_comparisons += 1
+            distance = edit_distance_within(s, candidate, d)
+            if distance <= d:
+                matched_here.append((entry.triple.oid, candidate, distance))
+        max_peer_comparisons = max(max_peer_comparisons, peer_comparisons)
+        if matched_here:
+            payload = sum(len(oid) + len(value) + 2 for oid, value, __ in matched_here)
+            ctx.router.send_result(
+                peer.peer_id, initiator_id, payload, phase="broadcast"
+            )
+            for oid, value, distance in matched_here:
+                previous = hits.get(oid)
+                if previous is None or distance < previous[0]:
+                    hits[oid] = (distance, value)
+
+    # The initiator reconstructs complete objects in one batched pass.
+    objects = ctx.fetch_objects(
+        hits.keys(),
+        delegating_peer_id=initiator_id,
+        initiator_id=initiator_id,
+        phase="oid_lookup",
+    )
+    matches = []
+    for oid, (distance, value) in hits.items():
+        triples = objects.get(oid)
+        if triples is None:
+            continue
+        matches.append(
+            MatchedObject(oid=oid, matched=value, distance=distance, triples=triples)
+        )
+    result.matches = sorted(matches, key=lambda m: (m.distance, m.oid))
+    result.candidates_after_filters = len(hits)
+    result.candidates_verified = local_comparisons
+    result.extras["region_peers"] = len(peers)
+    result.extras["max_peer_comparisons"] = max_peer_comparisons
+    return result
+
+
+def _comparable_string(entry, attribute: str, schema_level: bool) -> str | None:
+    """The string a naive region peer compares for one stored entry.
+
+    Instance level compares each attribute value exactly once, via the
+    ``ATTR_VALUE`` entry.  Schema level compares attribute names, also via
+    ``ATTR_VALUE`` entries (every triple has one).
+    """
+    if entry.kind is not EntryKind.ATTR_VALUE:
+        return None
+    if schema_level:
+        return entry.triple.attribute
+    if entry.triple.attribute != attribute:
+        return None
+    value = entry.triple.value
+    return value if isinstance(value, str) else None

@@ -1,0 +1,87 @@
+"""Range selection — numeric similarity as a range query (Section 4).
+
+``dist(x, v) <= d`` on a numeric attribute maps to the interval
+``[v - d, v + d]``, which maps (order-preserving hash) to a composite-key
+interval, which the overlay answers with a shower range query.  String
+range selections (``lo <= value <= hi`` lexicographically) ride on the
+same machinery.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ExecutionError
+from repro.overlay.range_query import range_query
+from repro.query.operators.base import MatchedObject, OperatorContext
+from repro.similarity.numeric import Interval, absolute_distance
+from repro.storage.indexing import EntryKind
+from repro.storage.triple import Triple, is_numeric
+
+
+def select_range(
+    ctx: OperatorContext,
+    attribute: str,
+    interval: Interval,
+    initiator_id: int | None = None,
+) -> list[Triple]:
+    """Triples with numeric ``attribute`` values inside ``interval``.
+
+    The range query is over-inclusive at the key level (truncated hashes),
+    so every returned value is re-checked against the interval locally at
+    the serving peers.
+    """
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    lo_key, hi_key = ctx.codec.attr_value_range(attribute, interval.lo, interval.hi)
+    outcome = range_query(
+        ctx.router, lo_key, hi_key, initiator_id, phase="range", collect_results=True
+    )
+    triples = [
+        entry.triple
+        for entry in outcome.entries
+        if entry.kind is EntryKind.ATTR_VALUE
+        and entry.triple.attribute == attribute
+        and is_numeric(entry.triple.value)
+        and interval.contains(float(entry.triple.value))
+    ]
+    return sorted(triples, key=lambda t: (float(t.value), t.oid))
+
+
+def numeric_similar(
+    ctx: OperatorContext,
+    attribute: str,
+    center: float,
+    distance: float,
+    initiator_id: int | None = None,
+    fetch_full_objects: bool = True,
+) -> list[MatchedObject]:
+    """Numeric ``Similar``: values within ``distance`` of ``center``."""
+    if distance < 0:
+        raise ExecutionError(f"similarity distance must be >= 0, got {distance}")
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    triples = select_range(
+        ctx, attribute, Interval(center - distance, center + distance), initiator_id
+    )
+    if not fetch_full_objects:
+        return [
+            MatchedObject(
+                t.oid, str(t.value), absolute_distance(float(t.value), center), (t,)
+            )
+            for t in triples
+        ]
+    objects = ctx.fetch_objects(
+        {t.oid for t in triples},
+        delegating_peer_id=initiator_id,
+        initiator_id=initiator_id,
+        phase="range",
+    )
+    matches = [
+        MatchedObject(
+            t.oid,
+            str(t.value),
+            absolute_distance(float(t.value), center),
+            objects.get(t.oid, (t,)),
+        )
+        for t in triples
+    ]
+    return sorted(matches, key=lambda m: (m.distance, m.oid))

@@ -1,0 +1,238 @@
+"""``Similar(s, a, d, p)`` — Algorithm 2, the paper's core contribution.
+
+Returns every object with an attribute-``a`` value (instance level) or an
+attribute *name* (schema level, ``a = ""``) within edit distance ``d`` of
+the search string ``s``.
+
+Flow (with both optimizations the paper describes in Section 4):
+
+1. the initiating peer decomposes ``s`` into q-grams — all overlapping
+   grams (``QGRAM``) or a ``d+1`` non-overlapping q-sample (``QSAMPLE``);
+2. the gram lookups are *batched*: every gram-owning partition is
+   contacted once (shower-style ``route_many``), not once per gram;
+3. each gram peer scans its gram entries, applies the position and length
+   filters (line 8) locally, and *delegates* the surviving candidate oids
+   to the oid-owning peers;
+4. each oid peer rebuilds the complete object from its ``key(oid)``
+   entries, runs the final edit-distance verification (line 23 — possible
+   remotely because the delegated query carries ``s`` and ``d``), and
+   sends true matches straight back to the initiator.
+
+Completeness: a stored string within distance ``d`` always shares at least
+one looked-up gram with compatible position/length (count bound for full
+gram sets, the pigeonhole argument for q-samples), so no true match is
+missed — property-tested against brute force in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.config import SimilarityStrategy
+from repro.core.errors import ExecutionError
+from repro.query.operators.base import (
+    QUERY_HEADER_BYTES,
+    MatchedObject,
+    OperatorContext,
+)
+from repro.similarity.edit_distance import edit_distance_within
+from repro.storage.indexing import EntryKind, IndexEntry
+from repro.storage.qgrams import (
+    PositionalQGram,
+    guaranteed_complete,
+    positional_qgrams,
+    qgram_sample,
+)
+
+
+@dataclass
+class SimilarResult:
+    """Matches plus the operator's internal tallies (for diagnostics)."""
+
+    matches: list[MatchedObject]
+    grams_looked_up: int = 0
+    candidates_after_filters: int = 0
+    candidates_verified: int = 0
+    gram_partitions_contacted: int = 0
+    duplicate_delegations: int = 0
+    extras: dict[str, int] = field(default_factory=dict)
+
+
+def similar(
+    ctx: OperatorContext,
+    s: str,
+    attribute: str,
+    d: int,
+    initiator_id: int | None = None,
+    strategy: SimilarityStrategy | None = None,
+) -> SimilarResult:
+    """Run ``Similar(s, a, d)`` from ``initiator_id``.
+
+    ``attribute = ""`` switches to the schema level (the paper's
+    ``a == ""`` branch, line 2): candidates are attribute names instead of
+    values.  The strategy defaults to the context's configured one; the
+    ``NAIVE`` baseline lives in :mod:`repro.query.operators.naive` and is
+    dispatched transparently.
+    """
+    if d < 0:
+        raise ExecutionError(f"similarity distance must be >= 0, got {d}")
+    chosen = strategy if strategy is not None else ctx.strategy
+    outside_guarantee = not guaranteed_complete(len(s), ctx.config.q, d)
+    if chosen is SimilarityStrategy.NAIVE or (
+        ctx.config.strict_completeness and outside_guarantee
+    ):
+        from repro.query.operators.naive import naive_similar
+
+        return naive_similar(ctx, s, attribute, d, initiator_id)
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+
+    schema_level = attribute == ""
+    query_grams = _decompose(s, ctx.config.q, d, chosen)
+    gram_keys = _gram_keys(ctx, attribute, query_grams, schema_level)
+
+    # Step 2: batched routing — each gram partition contacted once.
+    answers = ctx.router.route_many(gram_keys.keys(), initiator_id, phase="gram_lookup")
+    result = SimilarResult(matches=[])
+    result.grams_looked_up = len(query_grams)
+    contacted: dict[int, list[str]] = defaultdict(list)
+    for key, peer in answers.items():
+        contacted[peer.peer_id].append(key)
+    result.gram_partitions_contacted = len(contacted)
+
+    # Step 3: per gram peer — local filtering, then delegation.
+    matches: dict[str, MatchedObject] = {}
+    seen_partitions: set[tuple[int, str]] = set()
+    all_delegated: set[str] = set()
+    delegated_total = 0
+    for peer_id, keys in sorted(contacted.items()):
+        peer = ctx.network.peer(peer_id)
+        ctx.router.send_delegate(
+            initiator_id,
+            peer_id,
+            QUERY_HEADER_BYTES
+            + sum(len(g.gram) for k in keys for g in gram_keys[k]),
+            phase="gram_lookup",
+        )
+        candidate_oids: set[str] = set()
+        for key in keys:
+            occurrences = gram_keys[key]
+            for entry in peer.store.lookup(key):
+                if not _entry_matches(entry, attribute, occurrences[0], schema_level):
+                    continue
+                stored = _entry_gram(entry)
+                if not any(
+                    ctx.filters.admits(occurrence, stored, d)
+                    for occurrence in occurrences
+                ):
+                    continue
+                candidate_oids.add(entry.triple.oid)
+        if not candidate_oids:
+            continue
+        result.candidates_after_filters += len(candidate_oids)
+        delegated_total += len(candidate_oids)
+        all_delegated.update(candidate_oids)
+        objects = ctx.fetch_objects(
+            candidate_oids,
+            delegating_peer_id=peer_id,
+            initiator_id=initiator_id,
+            phase="oid_lookup",
+            query_bytes=QUERY_HEADER_BYTES + len(s),
+            seen_partitions=seen_partitions,
+        )
+        for oid, triples in objects.items():
+            if oid in matches:
+                continue
+            match = _verify(s, attribute, d, oid, triples, schema_level)
+            result.candidates_verified += 1
+            if match is not None:
+                matches[oid] = match
+    result.duplicate_delegations = delegated_total - len(all_delegated)
+    result.matches = sorted(matches.values(), key=lambda m: (m.distance, m.oid))
+    return result
+
+
+def _decompose(
+    s: str, q: int, d: int, strategy: SimilarityStrategy
+) -> list[PositionalQGram]:
+    if strategy is SimilarityStrategy.QGRAM:
+        return positional_qgrams(s, q)
+    if strategy is SimilarityStrategy.QSAMPLE:
+        return qgram_sample(s, q, d)
+    raise ExecutionError(f"unsupported gram strategy: {strategy}")
+
+
+def _gram_keys(
+    ctx: OperatorContext,
+    attribute: str,
+    grams: list[PositionalQGram],
+    schema_level: bool,
+) -> dict[str, list[PositionalQGram]]:
+    """Map DHT keys to the query gram occurrence(s) they look up.
+
+    A gram text occurring at several positions of ``s`` maps to a single
+    key but keeps every position: the position filter admits a candidate
+    if *any* occurrence is compatible — collapsing to one position could
+    wrongly reject a true match and break the no-false-negative guarantee.
+    """
+    keys: dict[str, list[PositionalQGram]] = defaultdict(list)
+    for gram in grams:
+        if schema_level:
+            key = ctx.codec.schema_gram_key(gram.gram)
+        else:
+            key = ctx.codec.attr_value_key(attribute, gram.gram)
+        keys[key].append(gram)
+    return dict(keys)
+
+
+def _entry_matches(
+    entry: IndexEntry,
+    attribute: str,
+    query_gram: PositionalQGram,
+    schema_level: bool,
+) -> bool:
+    """Does a stored entry belong to this query's gram lookup?
+
+    Composite keys can collide across attributes (the attribute prefix is
+    truncated), so gram peers verify the entry's attribute and gram text —
+    the paper's peers likewise "compare the queried string to the data
+    available locally".
+    """
+    if schema_level:
+        return entry.kind is EntryKind.SCHEMA_GRAM and entry.gram == query_gram.gram
+    return (
+        entry.kind is EntryKind.INSTANCE_GRAM
+        and entry.gram == query_gram.gram
+        and entry.triple.attribute == attribute
+    )
+
+
+def _entry_gram(entry: IndexEntry) -> PositionalQGram:
+    """Positional gram view of a stored gram entry."""
+    return PositionalQGram(entry.gram or "", entry.position, entry.source_length)
+
+
+def _verify(
+    s: str,
+    attribute: str,
+    d: int,
+    oid: str,
+    triples: tuple,
+    schema_level: bool,
+) -> MatchedObject | None:
+    """Final edit-distance verification at the oid peer (line 23)."""
+    best: tuple[int, str] | None = None
+    for triple in triples:
+        if schema_level:
+            candidate = triple.attribute
+        else:
+            if triple.attribute != attribute or not isinstance(triple.value, str):
+                continue
+            candidate = triple.value
+        distance = edit_distance_within(s, candidate, d)
+        if distance <= d and (best is None or distance < best[0]):
+            best = (distance, candidate)
+    if best is None:
+        return None
+    return MatchedObject(oid=oid, matched=best[1], distance=best[0], triples=triples)

@@ -1,0 +1,213 @@
+"""Recursive-descent parser for VQL.
+
+Grammar (conjunctive, matching the paper's examples)::
+
+    query    := SELECT varlist WHERE '{' item+ '}' order? limit? offset?
+    varlist  := VAR (',' VAR)*
+    item     := pattern | filter
+    pattern  := '(' term ',' term ',' term ')'
+    filter   := FILTER '(' comparison ')'
+    comparison := operand OP operand
+    operand  := term | 'dist' '(' term ',' term ')'
+    term     := VAR | STRING | NUMBER | IDENT
+    order    := ORDER BY VAR (ASC | DESC)?  |  ORDER BY VAR NN literal
+    limit    := LIMIT NUMBER
+    offset   := OFFSET NUMBER
+
+Bare identifiers in term position are string constants (attribute names
+like ``name`` or ``car:price``); the special identifier ``dist`` is only a
+function inside FILTER expressions.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import VQLSyntaxError
+from repro.query.ast import (
+    CompareOp,
+    Comparison,
+    Const,
+    DistCall,
+    FilterOperand,
+    OrderBy,
+    SelectQuery,
+    SortDirection,
+    Term,
+    TriplePattern,
+    Var,
+)
+from repro.query.lexer import Token, TokenType, tokenize
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse VQL text into a :class:`SelectQuery` AST."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, type: TokenType, text: str | None = None) -> Token:
+        token = self._current
+        if token.type is not type or (text is not None and token.text != text):
+            wanted = text if text is not None else type.value
+            raise VQLSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._current
+        if token.type is TokenType.KEYWORD and token.text == word:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        select = self._parse_varlist()
+        self._expect(TokenType.KEYWORD, "WHERE")
+        self._expect(TokenType.LBRACE)
+        patterns: list[TriplePattern] = []
+        filters: list[Comparison] = []
+        while self._current.type is not TokenType.RBRACE:
+            if self._accept_keyword("FILTER"):
+                self._expect(TokenType.LPAREN)
+                filters.append(self._parse_comparison())
+                self._expect(TokenType.RPAREN)
+            elif self._current.type is TokenType.LPAREN:
+                patterns.append(self._parse_pattern())
+            else:
+                raise VQLSyntaxError(
+                    f"expected a triple pattern or FILTER, found "
+                    f"{self._current.text!r}",
+                    self._current.position,
+                )
+        self._expect(TokenType.RBRACE)
+        order_by = self._parse_order()
+        limit = self._parse_count("LIMIT")
+        offset = self._parse_count("OFFSET") or 0
+        self._expect(TokenType.EOF)
+        return SelectQuery(
+            select=tuple(select),
+            patterns=tuple(patterns),
+            filters=tuple(filters),
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_varlist(self) -> list[Var]:
+        variables = [self._parse_var()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            variables.append(self._parse_var())
+        return variables
+
+    def _parse_var(self) -> Var:
+        token = self._expect(TokenType.VAR)
+        return Var(token.text)
+
+    def _parse_pattern(self) -> TriplePattern:
+        self._expect(TokenType.LPAREN)
+        subject = self._parse_term()
+        self._expect(TokenType.COMMA)
+        predicate = self._parse_term()
+        self._expect(TokenType.COMMA)
+        object_ = self._parse_term()
+        self._expect(TokenType.RPAREN)
+        return TriplePattern(subject, predicate, object_)
+
+    def _parse_term(self) -> Term:
+        token = self._current
+        if token.type is TokenType.VAR:
+            self._advance()
+            return Var(token.text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Const(token.text)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Const(_number(token))
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return Const(token.text)
+        raise VQLSyntaxError(
+            f"expected a term, found {token.text!r}", token.position
+        )
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_operand()
+        op_token = self._expect(TokenType.OP)
+        try:
+            op = CompareOp(op_token.text)
+        except ValueError:  # pragma: no cover - lexer only emits valid ops
+            raise VQLSyntaxError(
+                f"unknown operator {op_token.text!r}", op_token.position
+            ) from None
+        right = self._parse_operand()
+        return Comparison(left, op, right)
+
+    def _parse_operand(self) -> FilterOperand:
+        token = self._current
+        if token.type is TokenType.IDENT and token.text == "dist":
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            left = self._parse_term()
+            self._expect(TokenType.COMMA)
+            right = self._parse_term()
+            self._expect(TokenType.RPAREN)
+            return DistCall(left, right)
+        return self._parse_term()
+
+    def _parse_order(self) -> OrderBy | None:
+        if not self._accept_keyword("ORDER"):
+            return None
+        self._expect(TokenType.KEYWORD, "BY")
+        variable = self._parse_var()
+        if self._accept_keyword("NN"):
+            token = self._current
+            if token.type is TokenType.STRING:
+                self._advance()
+                return OrderBy(variable, nn_target=Const(token.text))
+            if token.type is TokenType.NUMBER:
+                self._advance()
+                return OrderBy(variable, nn_target=Const(_number(token)))
+            raise VQLSyntaxError(
+                "NN requires a literal target", token.position
+            )
+        if self._accept_keyword("DESC"):
+            return OrderBy(variable, SortDirection.DESC)
+        self._accept_keyword("ASC")
+        return OrderBy(variable, SortDirection.ASC)
+
+    def _parse_count(self, keyword: str) -> int | None:
+        if not self._accept_keyword(keyword):
+            return None
+        token = self._expect(TokenType.NUMBER)
+        value = _number(token)
+        if not isinstance(value, int):
+            raise VQLSyntaxError(f"{keyword} requires an integer", token.position)
+        return value
+
+
+def _number(token: Token) -> int | float:
+    text = token.text
+    if "." in text:
+        return float(text)
+    return int(text)

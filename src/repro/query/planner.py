@@ -1,0 +1,628 @@
+"""Query planner — pattern ordering and similarity push-down.
+
+The paper scopes planning out ("we focus on physical operators, not on
+issues of query formulation and planning"), so this planner is a
+straightforward, correct heuristic layer that
+
+1. classifies every triple pattern into a physical **access method**,
+   consuming the FILTER predicates it can push down (similarity, range);
+2. orders the steps greedily by estimated selectivity, preferring steps
+   whose variables are already bound (bind-joins over cross products);
+3. recognizes the rank-aware shape ``ORDER BY ... LIMIT n`` and marks it
+   for the top-N operator when it is safe (see the executor's adaptive
+   overfetch loop for how correctness is preserved under later joins).
+
+Everything left over — filters that no access method consumed — becomes a
+*residual* predicate evaluated at the initiator as soon as its variables
+are bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import PlanningError
+from repro.query.ast import (
+    CompareOp,
+    Comparison,
+    Const,
+    DistCall,
+    SelectQuery,
+    SortDirection,
+    TriplePattern,
+    Var,
+)
+from repro.storage.triple import is_numeric
+
+
+class AccessMethod(enum.Enum):
+    """Physical access path for one triple pattern."""
+
+    EXACT = "exact"  # predicate + object constants -> key(A#v)
+    STRING_SIMILARITY = "string_similarity"  # dist(?v, 'c') pushed down
+    NUMERIC_SIMILARITY = "numeric_similarity"  # dist(?v, n) pushed down
+    SCHEMA_SIMILARITY = "schema_similarity"  # dist(?a, 'c') on predicate var
+    RANGE = "range"  # numeric comparison pushed down
+    STRING_RANGE = "string_range"  # lexicographic comparison pushed down
+    TOP_N = "top_n"  # rank-aware: ORDER BY + LIMIT push-down
+    SIMJOIN_PROBE = "simjoin_probe"  # dist(?v, ?w), ?w bound earlier
+    OID_JOIN = "oid_join"  # subject bound earlier -> key(oid)
+    SCAN = "scan"  # attribute scan (fallback)
+
+
+@dataclass
+class SimilaritySpec:
+    """A pushed-down ``dist(x, y) < d`` predicate."""
+
+    target: object  # constant search value, or None for SIMJOIN_PROBE
+    partner_var: str | None  # other variable for SIMJOIN_PROBE
+    max_distance: float
+    strict: bool  # True for '<', False for '<='
+
+    @property
+    def edit_limit(self) -> int:
+        """Integer edit-distance bound implied by the predicate.
+
+        ``dist < d`` over integer edit distances means ``dist <= d - 1``
+        (the paper's ``dist(?n,'BMW') < 2`` admits distance 0 and 1).
+        """
+        limit = self.max_distance - 1 if self.strict else self.max_distance
+        return max(0, int(limit))
+
+    @property
+    def numeric_limit(self) -> float:
+        """Distance bound for continuous (numeric) values."""
+        return float(self.max_distance)
+
+
+@dataclass
+class RangeSpec:
+    """A pushed-down numeric comparison ``?v op c`` (conjunction thereof)."""
+
+    lower: float | None = None
+    upper: float | None = None
+    lower_strict: bool = False
+    upper_strict: bool = False
+
+    def admits(self, value: float) -> bool:
+        if self.lower is not None:
+            if value < self.lower or (self.lower_strict and value == self.lower):
+                return False
+        if self.upper is not None:
+            if value > self.upper or (self.upper_strict and value == self.upper):
+                return False
+        return True
+
+
+@dataclass
+class StringRangeSpec:
+    """A pushed-down lexicographic comparison conjunction on strings."""
+
+    lower: str | None = None
+    upper: str | None = None
+    lower_strict: bool = False
+    upper_strict: bool = False
+
+    def admits(self, value: str) -> bool:
+        if self.lower is not None:
+            if value < self.lower or (self.lower_strict and value == self.lower):
+                return False
+        if self.upper is not None:
+            if value > self.upper or (self.upper_strict and value == self.upper):
+                return False
+        return True
+
+
+@dataclass
+class PlanStep:
+    """One executable step: a pattern with its access method and payload."""
+
+    pattern: TriplePattern
+    method: AccessMethod
+    similarity: SimilaritySpec | None = None
+    range: RangeSpec | None = None
+    string_range: StringRangeSpec | None = None
+    consumed_filters: tuple[Comparison, ...] = ()
+    cost_rank: int = 0
+    estimated_rows: float | None = None
+
+
+@dataclass
+class QueryPlan:
+    """Ordered steps plus residual filters and the final modifiers."""
+
+    query: SelectQuery
+    steps: list[PlanStep]
+    residual_filters: tuple[Comparison, ...]
+
+    def explain(self) -> str:
+        """Human-readable plan, one line per step."""
+        lines = []
+        for i, step in enumerate(self.steps, start=1):
+            parts = []
+            if step.similarity is not None:
+                if step.similarity.partner_var is not None:
+                    parts.append(f"probe=?{step.similarity.partner_var}")
+                else:
+                    parts.append(f"target={step.similarity.target!r}")
+                parts.append(f"d<={step.similarity.edit_limit}")
+            if step.range is not None:
+                parts.append(f"range=({step.range.lower}, {step.range.upper})")
+            if step.estimated_rows is not None:
+                parts.append(f"~{step.estimated_rows:.0f} rows")
+            detail = (" " + " ".join(parts)) if parts else ""
+            lines.append(f"{i}. {step.method.value}{detail}  {step.pattern}")
+        for residual in self.residual_filters:
+            lines.append(f"   residual: {residual}")
+        return "\n".join(lines)
+
+
+#: Cost ranks used by the greedy ordering (lower runs earlier).
+_COST = {
+    AccessMethod.EXACT: 0,
+    AccessMethod.OID_JOIN: 1,
+    AccessMethod.TOP_N: 1,
+    AccessMethod.STRING_SIMILARITY: 2,
+    AccessMethod.NUMERIC_SIMILARITY: 2,
+    AccessMethod.RANGE: 3,
+    AccessMethod.STRING_RANGE: 3,
+    AccessMethod.SCHEMA_SIMILARITY: 3,
+    AccessMethod.SIMJOIN_PROBE: 3,
+    AccessMethod.SCAN: 6,
+}
+
+#: Penalty added when a step shares no variable with what is bound so far
+#: (cross products are legal but should run last).
+_CROSS_PRODUCT_PENALTY = 10
+
+
+def plan(query: SelectQuery, catalog=None) -> QueryPlan:
+    """Build an executable plan for ``query``.
+
+    With a :class:`~repro.query.statistics.StatisticsCatalog`, step
+    ordering uses estimated result cardinalities instead of the static
+    method ranks — the cost-based mode the paper leaves as ongoing work.
+    """
+    remaining_filters = list(query.filters)
+    annotated: list[PlanStep] = []
+    for pattern in query.patterns:
+        step, used = _classify(pattern, remaining_filters, query)
+        for comparison in used:
+            remaining_filters.remove(comparison)
+        if catalog is not None:
+            step.estimated_rows = _estimate_rows(step, catalog)
+        annotated.append(step)
+
+    ordered, reinstated = _order_steps(annotated)
+    _promote_top_n(ordered, query)
+    return QueryPlan(
+        query=query,
+        steps=ordered,
+        residual_filters=tuple(remaining_filters + reinstated),
+    )
+
+
+def _classify(
+    pattern: TriplePattern,
+    filters: list[Comparison],
+    query: SelectQuery,
+) -> tuple[PlanStep, list[Comparison]]:
+    """Pick the best access method for one pattern, consuming filters."""
+    predicate = pattern.predicate
+    object_ = pattern.object
+
+    # Schema level: variable predicate with a dist() filter on it.
+    if isinstance(predicate, Var):
+        spec, used = _find_similarity(predicate.name, filters)
+        if spec is not None and spec.partner_var is None:
+            return (
+                PlanStep(
+                    pattern,
+                    AccessMethod.SCHEMA_SIMILARITY,
+                    similarity=spec,
+                    consumed_filters=tuple(used),
+                    cost_rank=_COST[AccessMethod.SCHEMA_SIMILARITY],
+                ),
+                used,
+            )
+        # Variable predicate without a similarity anchor: only reachable
+        # through the subject (oid join); otherwise unplannable.
+        return (
+            PlanStep(
+                pattern,
+                AccessMethod.OID_JOIN,
+                cost_rank=_COST[AccessMethod.OID_JOIN],
+            ),
+            [],
+        )
+
+    if not isinstance(predicate, Const) or not isinstance(predicate.value, str):
+        raise PlanningError(f"pattern {pattern} has a non-string predicate")
+
+    # Constant object: exact lookup.
+    if isinstance(object_, Const):
+        return (
+            PlanStep(pattern, AccessMethod.EXACT, cost_rank=_COST[AccessMethod.EXACT]),
+            [],
+        )
+
+    # Variable object: look for pushable predicates on it.
+    spec, used = _find_similarity(object_.name, filters)
+    if spec is not None:
+        if spec.partner_var is not None:
+            method = AccessMethod.SIMJOIN_PROBE
+        elif is_numeric(spec.target):
+            method = AccessMethod.NUMERIC_SIMILARITY
+        else:
+            method = AccessMethod.STRING_SIMILARITY
+        return (
+            PlanStep(
+                pattern,
+                method,
+                similarity=spec,
+                consumed_filters=tuple(used),
+                cost_rank=_COST[method],
+            ),
+            used,
+        )
+    range_spec, used = _find_range(object_.name, filters)
+    if range_spec is not None:
+        return (
+            PlanStep(
+                pattern,
+                AccessMethod.RANGE,
+                range=range_spec,
+                consumed_filters=tuple(used),
+                cost_rank=_COST[AccessMethod.RANGE],
+            ),
+            used,
+        )
+    string_spec, used = _find_string_range(object_.name, filters)
+    if string_spec is not None:
+        return (
+            PlanStep(
+                pattern,
+                AccessMethod.STRING_RANGE,
+                string_range=string_spec,
+                consumed_filters=tuple(used),
+                cost_rank=_COST[AccessMethod.STRING_RANGE],
+            ),
+            used,
+        )
+    return (
+        PlanStep(pattern, AccessMethod.SCAN, cost_rank=_COST[AccessMethod.SCAN]),
+        [],
+    )
+
+
+def _find_similarity(
+    variable: str, filters: list[Comparison]
+) -> tuple[SimilaritySpec | None, list[Comparison]]:
+    """First pushable ``dist(?variable, x) < d`` filter, if any."""
+    for comparison in filters:
+        if not comparison.is_distance_predicate():
+            continue
+        dist = comparison.left
+        assert isinstance(dist, DistCall)
+        if not isinstance(comparison.right, Const):
+            continue
+        bound = comparison.right.value
+        if not is_numeric(bound):
+            continue
+        sides = (dist.left, dist.right)
+        names = [t.name for t in sides if isinstance(t, Var)]
+        if variable not in names:
+            continue
+        strict = comparison.op is CompareOp.LT
+        if len(names) == 2:
+            partner = names[0] if names[1] == variable else names[1]
+            spec = SimilaritySpec(
+                target=None,
+                partner_var=partner,
+                max_distance=float(bound),
+                strict=strict,
+            )
+            return spec, [comparison]
+        constant = next(t for t in sides if isinstance(t, Const))
+        spec = SimilaritySpec(
+            target=constant.value,
+            partner_var=None,
+            max_distance=float(bound),
+            strict=strict,
+        )
+        return spec, [comparison]
+    return None, []
+
+
+def _find_range(
+    variable: str, filters: list[Comparison]
+) -> tuple[RangeSpec | None, list[Comparison]]:
+    """Conjunction of numeric comparisons on ``variable``, if any."""
+    spec = RangeSpec()
+    used: list[Comparison] = []
+    for comparison in filters:
+        bound, op = _variable_comparison(variable, comparison)
+        if bound is None:
+            continue
+        if op in (CompareOp.LT, CompareOp.LE):
+            if spec.upper is None or bound < spec.upper:
+                spec.upper = bound
+                spec.upper_strict = op is CompareOp.LT
+        elif op in (CompareOp.GT, CompareOp.GE):
+            if spec.lower is None or bound > spec.lower:
+                spec.lower = bound
+                spec.lower_strict = op is CompareOp.GT
+        elif op is CompareOp.EQ:
+            spec.lower = spec.upper = bound
+            spec.lower_strict = spec.upper_strict = False
+        else:
+            continue
+        used.append(comparison)
+    if not used:
+        return None, []
+    return spec, used
+
+
+def _find_string_range(
+    variable: str, filters: list[Comparison]
+) -> tuple[StringRangeSpec | None, list[Comparison]]:
+    """Conjunction of lexicographic comparisons on ``variable``, if any."""
+    spec = StringRangeSpec()
+    used: list[Comparison] = []
+    for comparison in filters:
+        bound, op = _string_comparison(variable, comparison)
+        if bound is None:
+            continue
+        if op in (CompareOp.LT, CompareOp.LE):
+            if spec.upper is None or bound < spec.upper:
+                spec.upper = bound
+                spec.upper_strict = op is CompareOp.LT
+        elif op in (CompareOp.GT, CompareOp.GE):
+            if spec.lower is None or bound > spec.lower:
+                spec.lower = bound
+                spec.lower_strict = op is CompareOp.GT
+        elif op is CompareOp.EQ:
+            spec.lower = spec.upper = bound
+            spec.lower_strict = spec.upper_strict = False
+        else:
+            continue
+        used.append(comparison)
+    if not used:
+        return None, []
+    return spec, used
+
+
+def _string_comparison(
+    variable: str, comparison: Comparison
+) -> tuple[str | None, CompareOp | None]:
+    """Normalize ``?v op 'c'`` / ``'c' op ?v`` to bound-on-variable form."""
+    left, right = comparison.left, comparison.right
+    flipped = {
+        CompareOp.LT: CompareOp.GT,
+        CompareOp.LE: CompareOp.GE,
+        CompareOp.GT: CompareOp.LT,
+        CompareOp.GE: CompareOp.LE,
+        CompareOp.EQ: CompareOp.EQ,
+        CompareOp.NE: CompareOp.NE,
+    }
+    if (
+        isinstance(left, Var)
+        and left.name == variable
+        and isinstance(right, Const)
+        and isinstance(right.value, str)
+    ):
+        return right.value, comparison.op
+    if (
+        isinstance(right, Var)
+        and right.name == variable
+        and isinstance(left, Const)
+        and isinstance(left.value, str)
+    ):
+        return left.value, flipped[comparison.op]
+    return None, None
+
+
+def _variable_comparison(
+    variable: str, comparison: Comparison
+) -> tuple[float | None, CompareOp | None]:
+    """Normalize ``?v op c`` / ``c op ?v`` to bound-on-variable form."""
+    left, right = comparison.left, comparison.right
+    if (
+        isinstance(left, Var)
+        and left.name == variable
+        and isinstance(right, Const)
+        and is_numeric(right.value)
+    ):
+        return float(right.value), comparison.op
+    if (
+        isinstance(right, Var)
+        and right.name == variable
+        and isinstance(left, Const)
+        and is_numeric(left.value)
+    ):
+        flipped = {
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LE: CompareOp.GE,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GE: CompareOp.LE,
+            CompareOp.EQ: CompareOp.EQ,
+            CompareOp.NE: CompareOp.NE,
+        }
+        return float(left.value), flipped[comparison.op]
+    return None, None
+
+
+def _order_steps(steps: list[PlanStep]) -> tuple[list[PlanStep], list[Comparison]]:
+    """Greedy selectivity ordering with bound-variable preference.
+
+    Repeatedly pick the cheapest *executable* step: ``OID_JOIN`` needs its
+    subject variable bound, ``SIMJOIN_PROBE`` its partner variable.  Steps
+    sharing variables with the bound set get priority over cross products.
+
+    Returns the ordered steps plus any filters that were pushed down at
+    classification time but *reinstated* as residuals because their step
+    was rewritten to a cheaper bind-join (the filter still has to run).
+    """
+    pending = list(steps)
+    ordered: list[PlanStep] = []
+    reinstated: list[Comparison] = []
+    bound: set[str] = set()
+    while pending:
+        # A scan or range step whose subject is already bound is better
+        # served by a batched oid lookup — rewrite before picking.  A
+        # rewritten range step hands its comparisons back as residuals.
+        for index, step in enumerate(pending):
+            subject = step.pattern.subject
+            if not (isinstance(subject, Var) and subject.name in bound):
+                continue
+            if step.method in (
+                AccessMethod.SCAN,
+                AccessMethod.RANGE,
+                AccessMethod.STRING_RANGE,
+            ):
+                reinstated.extend(step.consumed_filters)
+                pending[index] = PlanStep(
+                    step.pattern,
+                    AccessMethod.OID_JOIN,
+                    cost_rank=_COST[AccessMethod.OID_JOIN],
+                    estimated_rows=(
+                        1.0 if step.estimated_rows is not None else None
+                    ),
+                )
+        best_index = None
+        best_score = None
+        for index, step in enumerate(pending):
+            if not _executable(step, bound):
+                continue
+            if step.estimated_rows is not None:
+                # Cost-based: prefer the smallest estimated cardinality.
+                score = step.estimated_rows
+                if ordered and not (step.pattern.variables() & bound):
+                    score += 1e12
+            else:
+                score = float(step.cost_rank)
+                if ordered and not (step.pattern.variables() & bound):
+                    score += _CROSS_PRODUCT_PENALTY
+            if best_score is None or score < best_score:
+                best_index = index
+                best_score = score
+        if best_index is None:
+            # Remaining steps are all blocked; a pattern whose subject can
+            # never be bound falls back to a scan of its predicate.
+            step = pending[0]
+            fallback = _unblock(step)
+            if fallback is None:
+                raise PlanningError(
+                    f"pattern {step.pattern} cannot be planned: no access path"
+                )
+            pending[0] = fallback
+            continue
+        step = pending.pop(best_index)
+        ordered.append(step)
+        bound |= step.pattern.variables()
+    return ordered, reinstated
+
+
+def _estimate_rows(step: PlanStep, catalog) -> float:
+    """Estimated output cardinality of one step under a catalog.
+
+    Attributes absent from the catalog fall back to method-shaped default
+    guesses so mixed plans still order sensibly.
+    """
+    predicate = step.pattern.predicate
+    stats = None
+    if isinstance(predicate, Const) and isinstance(predicate.value, str):
+        stats = catalog.get(predicate.value)
+    method = step.method
+    if method is AccessMethod.EXACT:
+        return stats.estimate_equality_rows() if stats else 1.0
+    if method is AccessMethod.OID_JOIN:
+        return 1.0  # one object per bound oid
+    if method in (AccessMethod.STRING_SIMILARITY, AccessMethod.SIMJOIN_PROBE):
+        assert step.similarity is not None
+        d = step.similarity.edit_limit
+        return stats.estimate_similarity_rows(d) if stats else 10.0 * (d + 1)
+    if method is AccessMethod.NUMERIC_SIMILARITY:
+        assert step.similarity is not None
+        if stats and step.similarity.target is not None:
+            center = float(step.similarity.target)  # type: ignore[arg-type]
+            radius = step.similarity.numeric_limit
+            return stats.estimate_range_rows(center - radius, center + radius)
+        return 50.0
+    if method is AccessMethod.RANGE:
+        assert step.range is not None
+        if stats:
+            lo = step.range.lower if step.range.lower is not None else -1e308
+            hi = step.range.upper if step.range.upper is not None else 1e308
+            return stats.estimate_range_rows(lo, hi)
+        return 100.0
+    if method is AccessMethod.STRING_RANGE:
+        return float(stats.row_count) / 4 if stats else 250.0
+    if method is AccessMethod.TOP_N:
+        return 25.0
+    if method is AccessMethod.SCHEMA_SIMILARITY:
+        return 200.0
+    # SCAN: the whole attribute.
+    return float(stats.row_count) if stats else 10_000.0
+
+
+def _executable(step: PlanStep, bound: set[str]) -> bool:
+    if step.method is AccessMethod.OID_JOIN:
+        subject = step.pattern.subject
+        return isinstance(subject, Const) or (
+            isinstance(subject, Var) and subject.name in bound
+        )
+    if step.method is AccessMethod.SIMJOIN_PROBE:
+        assert step.similarity is not None
+        return step.similarity.partner_var in bound
+    return True
+
+
+def _unblock(step: PlanStep) -> PlanStep | None:
+    """Fallback access for a blocked step (no bindable subject/partner)."""
+    if isinstance(step.pattern.predicate, Const):
+        return PlanStep(
+            step.pattern, AccessMethod.SCAN, cost_rank=_COST[AccessMethod.SCAN]
+        )
+    return None
+
+
+def _promote_top_n(steps: list[PlanStep], query: SelectQuery) -> None:
+    """Mark the rank-aware shape for top-N push-down.
+
+    Applies when the query has ``ORDER BY ?v ... LIMIT n`` and ``?v`` is
+    the object of a const-predicate pattern currently planned as a plain
+    SCAN — i.e. nothing more selective was available.  For ``NN`` the
+    target literal rides along in the similarity spec; for ``ASC``/``DESC``
+    the executor maps it onto ``MIN``/``MAX`` ranking (Algorithm 4).  The
+    executor's overfetch loop keeps the push-down correct when later
+    joins or residual filters drop rows.
+    """
+    order = query.order_by
+    if order is None or query.limit is None:
+        return
+    for index, step in enumerate(steps):
+        if step.method is not AccessMethod.SCAN:
+            continue
+        object_ = step.pattern.object
+        if not isinstance(object_, Var) or object_.name != order.variable.name:
+            continue
+        if not isinstance(step.pattern.predicate, Const):
+            continue
+        similarity = None
+        if order.is_nearest_neighbour:
+            assert order.nn_target is not None
+            similarity = SimilaritySpec(
+                target=order.nn_target.value,
+                partner_var=None,
+                max_distance=float("inf"),
+                strict=False,
+            )
+        steps[index] = PlanStep(
+            step.pattern,
+            AccessMethod.TOP_N,
+            similarity=similarity,
+            cost_rank=_COST[AccessMethod.TOP_N],
+        )
+        return

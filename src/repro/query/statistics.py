@@ -1,0 +1,216 @@
+"""Attribute statistics and selectivity estimation.
+
+The paper defers cost-based optimization ("which of these two approaches,
+or any other, more sophisticated, strategy, is used is a choice depending
+on cost optimizations, which is part of our ongoing work").  This module
+implements that ongoing work in its natural P-Grid form:
+
+* :class:`AttributeStatistics` — per-attribute summaries: row count,
+  distinct values, numeric min/max and an equi-width histogram, mean
+  string length;
+* :class:`StatisticsCatalog` — collected by *sampling the overlay*: the
+  collector routes into an attribute's key region, asks a few partitions
+  for their local summaries (cheap, charged messages), and extrapolates
+  by the sampled fraction — the same local-density idea Algorithm 4 uses
+  for its first range estimate, generalized;
+* selectivity estimators used by the cost-based planner: expected rows
+  for exact lookups, ranges, and similarity predicates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.errors import QueryError
+from repro.query.operators.base import OperatorContext
+from repro.storage.indexing import EntryKind
+from repro.storage.triple import is_numeric
+
+#: Histogram buckets for numeric attributes.
+HISTOGRAM_BUCKETS = 16
+
+
+@dataclass
+class AttributeStatistics:
+    """Summary of one attribute's stored values."""
+
+    attribute: str
+    row_count: int = 0
+    distinct_estimate: int = 0
+    numeric_min: float | None = None
+    numeric_max: float | None = None
+    histogram: list[int] = field(default_factory=list)
+    mean_string_length: float = 0.0
+    string_rows: int = 0
+    numeric_rows: int = 0
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.numeric_rows >= self.string_rows
+
+    # -- selectivity estimators ---------------------------------------------------
+
+    def estimate_equality_rows(self) -> float:
+        """Expected rows for ``attribute = v`` (uniform over distinct)."""
+        if self.distinct_estimate <= 0:
+            return 0.0
+        return self.row_count / self.distinct_estimate
+
+    def estimate_range_rows(self, lo: float, hi: float) -> float:
+        """Expected rows for ``lo <= attribute <= hi`` via the histogram."""
+        if (
+            self.numeric_min is None
+            or self.numeric_max is None
+            or not self.histogram
+        ):
+            return float(self.row_count)
+        if hi < self.numeric_min or lo > self.numeric_max:
+            return 0.0
+        span = self.numeric_max - self.numeric_min
+        if span <= 0:
+            return float(self.numeric_rows)
+        width = span / len(self.histogram)
+        rows = 0.0
+        for index, bucket in enumerate(self.histogram):
+            b_lo = self.numeric_min + index * width
+            b_hi = b_lo + width
+            overlap = min(hi, b_hi) - max(lo, b_lo)
+            if overlap <= 0:
+                continue
+            rows += bucket * min(1.0, overlap / width)
+        return rows
+
+    def estimate_similarity_rows(self, d: int) -> float:
+        """Expected rows within edit distance ``d`` of a random string.
+
+        A crude but monotone model: a ball of radius ``d`` in edit space
+        over strings of mean length ``L`` covers roughly ``(c·L)^d``
+        strings out of ``Σ^L`` — which collapses, for estimation purposes,
+        to ``equality_rows · growth^d`` with an empirical per-edit growth
+        factor.  What the planner needs is the *ordering* (d=1 before
+        d=3, similarity before scan), which this provides.
+        """
+        growth = max(4.0, 1.5 * max(self.mean_string_length, 1.0))
+        return min(
+            float(self.row_count), self.estimate_equality_rows() * growth**d
+        )
+
+
+@dataclass
+class StatisticsCatalog:
+    """Per-attribute statistics, keyed by qualified attribute name."""
+
+    by_attribute: dict[str, AttributeStatistics] = field(default_factory=dict)
+    sampled_fraction: float = 1.0
+
+    def get(self, attribute: str) -> AttributeStatistics | None:
+        return self.by_attribute.get(attribute)
+
+    def attributes(self) -> list[str]:
+        return sorted(self.by_attribute)
+
+
+def collect_statistics(
+    ctx: OperatorContext,
+    attributes: Sequence[str],
+    sample_partitions: int = 4,
+    initiator_id: int | None = None,
+) -> StatisticsCatalog:
+    """Sample the overlay and build a catalog for ``attributes``.
+
+    For each attribute the collector contacts up to ``sample_partitions``
+    evenly spaced partitions of the attribute's key region (one routed
+    walk plus forwards, plus one summary-sized result message each) and
+    extrapolates counts by the sampled fraction of the region.
+    """
+    if sample_partitions < 1:
+        raise QueryError("need at least one sampled partition")
+    if initiator_id is None:
+        initiator_id = ctx.random_initiator()
+    catalog = StatisticsCatalog()
+    for attribute in attributes:
+        catalog.by_attribute[attribute] = _collect_one(
+            ctx, attribute, sample_partitions, initiator_id
+        )
+    return catalog
+
+
+def _collect_one(
+    ctx: OperatorContext,
+    attribute: str,
+    sample_partitions: int,
+    initiator_id: int,
+) -> AttributeStatistics:
+    network = ctx.network
+    prefix = ctx.codec.attr_prefix(attribute)
+    region = network.partitions_under(prefix)
+    step = max(1, len(region) // sample_partitions)
+    sampled = region[::step][:sample_partitions]
+    fraction = len(sampled) / len(region) if region else 1.0
+
+    stats = AttributeStatistics(attribute=attribute)
+    values_numeric: list[float] = []
+    lengths: list[int] = []
+    distinct: set = set()
+    entry_peer = ctx.router.route(sampled[0].path, initiator_id, phase="stats")
+    previous = entry_peer
+    for partition in sampled:
+        if partition.contains(previous.peer_id):
+            peer = previous
+        else:
+            peer = network.peer(partition.peer_ids[0])
+            from repro.overlay.messages import MessageType
+
+            network.tracer.send(
+                MessageType.FORWARD, previous.peer_id, peer.peer_id, phase="stats"
+            )
+            previous = peer
+        local = 0
+        for entry in peer.store.prefix_scan(prefix):
+            if entry.kind is not EntryKind.ATTR_VALUE:
+                continue
+            if entry.triple.attribute != attribute:
+                continue
+            local += 1
+            value = entry.triple.value
+            distinct.add(value)
+            if is_numeric(value):
+                values_numeric.append(float(value))
+            else:
+                lengths.append(len(str(value)))
+        # One fixed-size summary per sampled partition travels back.
+        ctx.router.send_result(peer.peer_id, initiator_id, 64, phase="stats")
+        stats.row_count += local
+
+    scale = 1.0 / fraction if fraction > 0 else 1.0
+    stats.row_count = int(round(stats.row_count * scale))
+    stats.distinct_estimate = max(1, int(round(len(distinct) * scale)))
+    stats.numeric_rows = int(round(len(values_numeric) * scale))
+    stats.string_rows = int(round(len(lengths) * scale))
+    if values_numeric:
+        stats.numeric_min = min(values_numeric)
+        stats.numeric_max = max(values_numeric)
+        stats.histogram = _build_histogram(
+            values_numeric, stats.numeric_min, stats.numeric_max, scale
+        )
+    if lengths:
+        stats.mean_string_length = sum(lengths) / len(lengths)
+    return stats
+
+
+def _build_histogram(
+    values: list[float], lo: float, hi: float, scale: float
+) -> list[int]:
+    buckets = [0.0] * HISTOGRAM_BUCKETS
+    span = hi - lo
+    if span <= 0:
+        buckets[0] = len(values)
+    else:
+        for value in values:
+            index = min(
+                HISTOGRAM_BUCKETS - 1, int((value - lo) / span * HISTOGRAM_BUCKETS)
+            )
+            buckets[index] += 1
+    return [int(math.ceil(b * scale)) for b in buckets]

@@ -1,0 +1,98 @@
+"""Candidate filters for q-gram similarity (Gravano et al. [7]).
+
+Algorithm 2, line 8 prunes a candidate gram ``q'`` against a query gram
+``q`` before any expensive work:
+
+* **position filter** — ``|p(q') - p(q)| <= d``: an edit script of cost
+  ``d`` can shift a surviving gram by at most ``d`` positions;
+* **length filter** — ``|l(q') - l(q)| <= d``: strings within edit
+  distance ``d`` differ in length by at most ``d``.
+
+The **count filter** (shared-gram lower bound) applies when the full
+overlapping q-gram set is used: matches must share at least
+``max(|s1|, |s2|) - 1 - (d - 1) * q`` grams.  It cannot be applied to
+q-samples (a sample deliberately drops grams), which is exactly the
+paper's trade-off: "using only a subset of all possible q-grams — a
+q-sample — performs much better but more candidates have to be processed
+in the final step".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.storage.qgrams import PositionalQGram, count_filter_threshold
+
+
+def position_filter(query_pos: int, candidate_pos: int, d: int) -> bool:
+    """True if the gram positions are compatible with edit distance ``d``."""
+    return abs(query_pos - candidate_pos) <= d
+
+
+def length_filter(query_len: int, candidate_len: int, d: int) -> bool:
+    """True if the string lengths are compatible with edit distance ``d``."""
+    return abs(query_len - candidate_len) <= d
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Which of the per-gram filters are active (ablation knob)."""
+
+    use_position: bool = True
+    use_length: bool = True
+
+    def admits(
+        self, query_gram: PositionalQGram, candidate: PositionalQGram, d: int
+    ) -> bool:
+        """Combined per-gram admissibility test (Algorithm 2, line 8)."""
+        if self.use_position and not position_filter(
+            query_gram.position, candidate.position, d
+        ):
+            return False
+        if self.use_length and not length_filter(
+            query_gram.source_length, candidate.source_length, d
+        ):
+            return False
+        return True
+
+
+class CountFilter:
+    """Accumulates per-candidate gram hits and applies the count bound.
+
+    Feed it one ``observe`` call per (query gram, candidate string) match;
+    ``admitted`` then yields only candidates whose hit count reaches the
+    Gravano bound for their length.  With a non-positive bound the filter
+    is vacuous and admits every observed candidate (short strings / large
+    ``d``), matching the theory.
+    """
+
+    def __init__(self, query_length: int, q: int, d: int):
+        self.query_length = query_length
+        self.q = q
+        self.d = d
+        self._hits: Counter[str] = Counter()
+        self._lengths: dict[str, int] = {}
+
+    def observe(self, candidate_id: str, candidate_length: int) -> None:
+        """Record that one query gram matched ``candidate_id``."""
+        self._hits[candidate_id] += 1
+        self._lengths[candidate_id] = candidate_length
+
+    def threshold_for(self, candidate_length: int) -> int:
+        return count_filter_threshold(
+            self.query_length, candidate_length, self.q, self.d
+        )
+
+    def admitted(self) -> list[str]:
+        """Candidate ids passing the count bound."""
+        result = []
+        for candidate_id, hits in self._hits.items():
+            threshold = self.threshold_for(self._lengths[candidate_id])
+            if hits >= max(1, threshold):
+                result.append(candidate_id)
+        return result
+
+    def observed(self) -> list[str]:
+        """All candidate ids seen (the no-count-filter baseline)."""
+        return list(self._hits)

@@ -1,0 +1,11 @@
+"""Discrete-event latency replay over recorded message logs."""
+
+from repro.simulation.replay import ReplayResult, replay_latency, replay_operation
+from repro.simulation.timing import LatencyDistribution
+
+__all__ = [
+    "LatencyDistribution",
+    "ReplayResult",
+    "replay_latency",
+    "replay_operation",
+]

@@ -1,0 +1,152 @@
+"""Per-peer local datastore — the ``delta(p)`` of the paper.
+
+Each peer stores the index entries whose key falls inside its key-space
+partition.  The store keeps entries sorted by key so that the three access
+patterns the operators need are all cheap:
+
+* exact-key lookup (``Retrieve``, Algorithm 1 line 2);
+* prefix scan (attribute scans, schema-level gram scans);
+* integer range scan (range queries / numeric similarity).
+
+Implementation: a list of ``(key, entry)`` kept sorted with ``bisect``.
+Bulk loading appends then sorts once; incremental inserts use
+``insort``-style insertion.  A small dirty flag avoids resorting on every
+read after a bulk load.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+from repro.storage.indexing import EntryKind, IndexEntry
+
+
+class LocalDataStore:
+    """Sorted key → entries store for one peer."""
+
+    __slots__ = ("_keys", "_entries", "_dirty")
+
+    def __init__(self) -> None:
+        self._keys: list[str] = []
+        self._entries: list[IndexEntry] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[IndexEntry]:
+        self._ensure_sorted()
+        return iter(self._entries)
+
+    def add(self, entry: IndexEntry) -> None:
+        """Insert one entry, keeping the store sorted."""
+        self._ensure_sorted()
+        index = bisect.bisect_right(self._keys, entry.key)
+        self._keys.insert(index, entry.key)
+        self._entries.insert(index, entry)
+
+    def add_bulk(self, entries: Iterable[IndexEntry]) -> int:
+        """Append many entries; sorting is deferred to the next read.
+
+        Returns the number of entries added.  Bulk loading a peer's share
+        of a large dataset this way is O(n log n) overall instead of
+        O(n²) repeated insertion.
+        """
+        count = 0
+        for entry in entries:
+            self._keys.append(entry.key)
+            self._entries.append(entry)
+            count += 1
+        if count:
+            self._dirty = True
+        return count
+
+    def remove(self, entry: IndexEntry) -> bool:
+        """Remove one entry; returns False if it was not present."""
+        self._ensure_sorted()
+        index = bisect.bisect_left(self._keys, entry.key)
+        while index < len(self._keys) and self._keys[index] == entry.key:
+            if self._entries[index] == entry:
+                del self._keys[index]
+                del self._entries[index]
+                return True
+            index += 1
+        return False
+
+    # -- reads ---------------------------------------------------------------
+
+    def lookup(self, key: str) -> list[IndexEntry]:
+        """All entries stored under exactly ``key``."""
+        self._ensure_sorted()
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._entries[lo:hi]
+
+    def prefix_scan(self, prefix: str) -> list[IndexEntry]:
+        """All entries whose key starts with ``prefix``.
+
+        Mirrors Algorithm 1's ``key(d) ⊇ key`` condition: a search key that
+        is shorter than stored keys matches every entry it prefixes.
+        """
+        self._ensure_sorted()
+        lo = bisect.bisect_left(self._keys, prefix)
+        result: list[IndexEntry] = []
+        for index in range(lo, len(self._keys)):
+            if not self._keys[index].startswith(prefix):
+                break
+            result.append(self._entries[index])
+        return result
+
+    def range_scan(self, lo_key: str, hi_key: str) -> list[IndexEntry]:
+        """All entries with ``lo_key <= key <= hi_key`` (inclusive)."""
+        self._ensure_sorted()
+        lo = bisect.bisect_left(self._keys, lo_key)
+        hi = bisect.bisect_right(self._keys, hi_key)
+        return self._entries[lo:hi]
+
+    def count_prefix(self, prefix: str) -> int:
+        """Number of entries under ``prefix`` without materializing them."""
+        self._ensure_sorted()
+        lo = bisect.bisect_left(self._keys, prefix)
+        if len(prefix):
+            # '2' sorts after both key characters, so ``prefix + '2'`` is a
+            # strict upper bound of exactly the keys extending ``prefix``.
+            hi = bisect.bisect_left(self._keys, prefix + "2")
+        else:
+            hi = len(self._keys)
+        return hi - lo
+
+    def entries_of_kind(self, kind: EntryKind) -> Iterator[IndexEntry]:
+        """All entries of one index family (diagnostics / naive scans)."""
+        self._ensure_sorted()
+        return (entry for entry in self._entries if entry.kind == kind)
+
+    def key_bounds(self) -> tuple[str, str] | None:
+        """Smallest and largest stored key, or None when empty."""
+        self._ensure_sorted()
+        if not self._keys:
+            return None
+        return self._keys[0], self._keys[-1]
+
+    def payload_bytes(self) -> int:
+        """Total approximate payload size of all stored entries."""
+        return sum(entry.payload_size() for entry in self._entries)
+
+    def local_density(self, prefix: str, key_bits: int) -> float:
+        """Entries per key-space slot under ``prefix``.
+
+        Used by the top-N operator (Algorithm 4 lines 1–3) to estimate a
+        first query range from local data density.  A prefix of length
+        ``l`` covers ``2 ** (key_bits - l)`` slots.
+        """
+        count = self.count_prefix(prefix)
+        slots = 1 << (key_bits - len(prefix))
+        return count / slots
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            order = sorted(range(len(self._keys)), key=self._keys.__getitem__)
+            self._keys = [self._keys[i] for i in order]
+            self._entries = [self._entries[i] for i in order]
+            self._dirty = False

@@ -1,0 +1,66 @@
+"""Unit tests for the ``python -m repro.bench`` CLI."""
+
+import os
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_single_panel_tiny_run(self, capsys):
+        status = main(
+            [
+                "--figure", "fig1a",
+                "--peers", "16", "64",
+                "--words", "150",
+                "--repetitions", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "Figure 1(a)" in captured.out
+        assert "qsamples" in captured.out
+        assert status in (0, 1)  # shape checks may be noisy at tiny scale
+
+    def test_titles_panel(self, capsys):
+        main(
+            [
+                "--figure", "fig1d",
+                "--peers", "16",
+                "--titles", "80",
+                "--repetitions", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "Figure 1(d)" in captured.out
+        assert "MB" in captured.out
+
+    def test_csv_output(self, tmp_path, capsys):
+        main(
+            [
+                "--figure", "fig1a",
+                "--peers", "16",
+                "--words", "100",
+                "--repetitions", "1",
+                "--csv-dir", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        csv_path = tmp_path / "bible.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "dataset,peers,strategy,messages,megabytes"
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig9z"])
+
+    def test_full_scale_env_toggle(self, monkeypatch):
+        from repro.bench.sweep import full_scale
+
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert full_scale()
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert not full_scale()
+        monkeypatch.delenv("REPRO_FULL_SCALE")
+        assert not full_scale()

@@ -1,0 +1,121 @@
+"""Unit tests for the binary key algebra."""
+
+import pytest
+
+from repro.core.errors import KeyspaceError
+from repro.overlay import keys
+
+
+class TestValidateKey:
+    def test_accepts_binary_strings(self):
+        assert keys.validate_key("0101") == "0101"
+
+    def test_accepts_empty(self):
+        assert keys.validate_key("") == ""
+
+    def test_rejects_other_characters(self):
+        with pytest.raises(KeyspaceError):
+            keys.validate_key("01a1")
+
+
+class TestPrefixAlgebra:
+    def test_is_prefix_true(self):
+        assert keys.is_prefix("01", "0110")
+
+    def test_is_prefix_reflexive(self):
+        assert keys.is_prefix("0110", "0110")
+
+    def test_is_prefix_false(self):
+        assert not keys.is_prefix("10", "0110")
+
+    def test_common_prefix_len(self):
+        assert keys.common_prefix_len("0110", "0101") == 2
+
+    def test_common_prefix_len_identical(self):
+        assert keys.common_prefix_len("0110", "0110") == 4
+
+    def test_common_prefix_len_disjoint(self):
+        assert keys.common_prefix_len("1", "0") == 0
+
+    def test_common_prefix_len_different_widths(self):
+        assert keys.common_prefix_len("01", "0110") == 2
+
+
+class TestFlipAndSibling:
+    def test_flip_bit(self):
+        assert keys.flip_bit("0110", 1) == "0010"
+
+    def test_flip_bit_out_of_range(self):
+        with pytest.raises(KeyspaceError):
+            keys.flip_bit("01", 2)
+
+    def test_sibling_prefix(self):
+        assert keys.sibling_prefix("0110", 2) == "010"
+
+    def test_sibling_prefix_level_zero(self):
+        assert keys.sibling_prefix("0110", 0) == "1"
+
+    def test_sibling_prefix_bad_level(self):
+        with pytest.raises(KeyspaceError):
+            keys.sibling_prefix("01", 5)
+
+
+class TestIntConversion:
+    def test_key_to_int(self):
+        assert keys.key_to_int("0110") == 6
+
+    def test_key_to_int_empty(self):
+        assert keys.key_to_int("") == 0
+
+    def test_int_to_key(self):
+        assert keys.int_to_key(6, 4) == "0110"
+
+    def test_int_to_key_zero_width(self):
+        assert keys.int_to_key(0, 0) == ""
+
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 1 << 20):
+            assert keys.key_to_int(keys.int_to_key(value, 24)) == value
+
+    def test_int_to_key_overflow(self):
+        with pytest.raises(KeyspaceError):
+            keys.int_to_key(16, 4)
+
+    def test_int_to_key_negative(self):
+        with pytest.raises(KeyspaceError):
+            keys.int_to_key(-1, 4)
+
+
+class TestIntervals:
+    def test_prefix_interval(self):
+        assert keys.prefix_interval("01", 4) == (4, 7)
+
+    def test_prefix_interval_full_width(self):
+        assert keys.prefix_interval("0110", 4) == (6, 6)
+
+    def test_prefix_interval_root(self):
+        assert keys.prefix_interval("", 4) == (0, 15)
+
+    def test_prefix_too_long(self):
+        with pytest.raises(KeyspaceError):
+            keys.prefix_interval("01010", 4)
+
+    def test_overlap_inside(self):
+        assert keys.interval_overlaps_prefix(5, 6, "01", 4)
+
+    def test_overlap_boundary(self):
+        assert keys.interval_overlaps_prefix(7, 12, "01", 4)
+
+    def test_overlap_disjoint(self):
+        assert not keys.interval_overlaps_prefix(8, 12, "01", 4)
+
+
+class TestNextKey:
+    def test_next_key(self):
+        assert keys.next_key("0110") == "0111"
+
+    def test_next_key_carries(self):
+        assert keys.next_key("0111") == "1000"
+
+    def test_next_key_max(self):
+        assert keys.next_key("1111") is None

@@ -1,0 +1,116 @@
+"""Unit tests for replication analysis and churn injection."""
+
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.overlay.churn import ChurnController
+from repro.overlay.replication import (
+    audit_replicas,
+    network_availability,
+    partition_availability,
+    repair_partition,
+    replicas_needed,
+)
+from repro.storage.triple import Triple
+
+from tests.conftest import TEXT_ATTR, build_word_network
+
+
+@pytest.fixture()
+def replicated_network():
+    return build_word_network(n_peers=32, config=StoreConfig(seed=4, replication=2))
+
+
+class TestReplicationAudit:
+    def test_fresh_network_is_consistent(self, replicated_network):
+        report = audit_replicas(replicated_network)
+        assert report.consistent
+        assert report.replication == 2
+
+    def test_divergence_detected_and_repaired(self, replicated_network):
+        network = replicated_network
+        triple = Triple("w:7777", TEXT_ATTR, "quorum")
+        entry = next(iter(network.entry_factory.entries_for(triple)))
+        partition = network.partition_for(entry.key)
+        # Write to only one replica: divergence.
+        network.peer(partition.peer_ids[0]).store.add(entry)
+        report = audit_replicas(network)
+        assert not report.consistent
+        assert partition.index in report.divergent_partitions
+        copied = repair_partition(network, partition.index)
+        assert copied >= 1
+        assert audit_replicas(network).consistent
+
+
+class TestAvailabilityMath:
+    def test_partition_availability(self):
+        assert partition_availability(1, 0.1) == pytest.approx(0.9)
+        assert partition_availability(3, 0.1) == pytest.approx(1 - 1e-3)
+
+    def test_network_availability_decreases_with_partitions(self):
+        one = network_availability(1, 2, 0.2)
+        many = network_availability(100, 2, 0.2)
+        assert many < one
+
+    def test_replicas_needed(self):
+        assert replicas_needed(0.0, 0.999) == 1
+        assert replicas_needed(0.1, 0.999) == 3
+
+    def test_replicas_needed_invalid(self):
+        with pytest.raises(ValueError):
+            replicas_needed(0.1, 1.5)
+        with pytest.raises(ValueError):
+            replicas_needed(1.0, 0.9)
+
+    def test_partition_availability_invalid_probability(self):
+        with pytest.raises(ValueError):
+            partition_availability(2, 1.5)
+
+
+class TestChurn:
+    def test_fail_fraction_protects_partitions(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=1)
+        report = controller.fail_fraction(0.5)
+        assert report.all_partitions_reachable
+        assert report.online_peers >= replicated_network.n_partitions
+        controller.recover_all()
+
+    def test_queries_survive_churn(self, replicated_network):
+        network = replicated_network
+        controller = ChurnController(network, seed=2)
+        controller.fail_fraction(0.4)
+        try:
+            key = network.codec.attr_value_key(TEXT_ATTR, "apple")
+            start = network.random_peer_id()
+            entries, __ = network.router.retrieve(key, start)
+            values = {e.triple.value for e in entries}
+            assert "apple" in values
+        finally:
+            controller.recover_all()
+
+    def test_unprotected_failures_can_darken_partitions(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=3)
+        report = controller.fail_fraction(1.0, protect_partitions=False)
+        assert not report.all_partitions_reachable
+        controller.recover_all()
+
+    def test_fail_specific_peers(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=4)
+        report = controller.fail_peers([0, 1])
+        assert 0 in report.failed_peer_ids
+        assert not replicated_network.peer(0).online
+        assert controller.recover_all() == 2
+
+    def test_recover_all_counts(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=5)
+        controller.fail_fraction(0.3)
+        recovered = controller.recover_all()
+        assert recovered > 0
+        assert all(p.online for p in replicated_network.peers)
+
+    def test_invalid_fraction_rejected(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=6)
+        from repro.core.errors import OverlayError
+
+        with pytest.raises(OverlayError):
+            controller.fail_fraction(1.5)

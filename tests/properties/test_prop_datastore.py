@@ -1,0 +1,102 @@
+"""Model-based property tests for the per-peer datastore.
+
+The store must behave exactly like a sorted multimap; the model is a
+plain list of ``(key, entry)`` pairs that every operation is checked
+against.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.datastore import LocalDataStore
+from repro.storage.indexing import EntryKind, IndexEntry
+from repro.storage.triple import Triple
+
+KEY_BITS = 8
+
+keys = st.integers(min_value=0, max_value=(1 << KEY_BITS) - 1).map(
+    lambda v: format(v, f"0{KEY_BITS}b")
+)
+
+
+def entry_for(key: str, serial: int) -> IndexEntry:
+    return IndexEntry(
+        key=key,
+        kind=EntryKind.ATTR_VALUE,
+        triple=Triple(f"x:{serial:04d}", "a", serial),
+    )
+
+
+@st.composite
+def stores(draw):
+    """A store plus its reference model."""
+    key_list = draw(st.lists(keys, max_size=40))
+    entries = [entry_for(key, i) for i, key in enumerate(key_list)]
+    store = LocalDataStore()
+    bulk_split = draw(st.integers(min_value=0, max_value=len(entries)))
+    store.add_bulk(entries[:bulk_split])
+    for entry in entries[bulk_split:]:
+        store.add(entry)
+    return store, entries
+
+
+class TestModelEquivalence:
+    @settings(max_examples=100)
+    @given(stores())
+    def test_iteration_is_key_sorted_and_complete(self, pair):
+        store, entries = pair
+        assert len(store) == len(entries)
+        iterated = [e.key for e in store]
+        assert iterated == sorted(e.key for e in entries)
+
+    @settings(max_examples=100)
+    @given(stores(), keys)
+    def test_lookup_matches_model(self, pair, probe):
+        store, entries = pair
+        expected = sorted(
+            (e.triple.oid for e in entries if e.key == probe)
+        )
+        got = sorted(e.triple.oid for e in store.lookup(probe))
+        assert got == expected
+
+    @settings(max_examples=100)
+    @given(stores(), st.integers(min_value=0, max_value=KEY_BITS))
+    def test_prefix_scan_matches_model(self, pair, width):
+        store, entries = pair
+        if not entries:
+            return
+        prefix = entries[0].key[:width]
+        expected = sorted(
+            e.triple.oid for e in entries if e.key.startswith(prefix)
+        )
+        got = sorted(e.triple.oid for e in store.prefix_scan(prefix))
+        assert got == expected
+
+    @settings(max_examples=100)
+    @given(stores(), keys, keys)
+    def test_range_scan_matches_model(self, pair, a, b):
+        store, entries = pair
+        lo, hi = min(a, b), max(a, b)
+        expected = sorted(
+            e.triple.oid for e in entries if lo <= e.key <= hi
+        )
+        got = sorted(e.triple.oid for e in store.range_scan(lo, hi))
+        assert got == expected
+
+    @settings(max_examples=100)
+    @given(stores())
+    def test_remove_each_entry_once(self, pair):
+        store, entries = pair
+        for entry in entries:
+            assert store.remove(entry)
+        assert len(store) == 0
+        if entries:
+            assert not store.remove(entries[0])
+
+    @settings(max_examples=100)
+    @given(stores(), st.integers(min_value=0, max_value=KEY_BITS))
+    def test_count_prefix_matches_scan(self, pair, width):
+        store, entries = pair
+        if not entries:
+            return
+        prefix = entries[-1].key[:width]
+        assert store.count_prefix(prefix) == len(store.prefix_scan(prefix))

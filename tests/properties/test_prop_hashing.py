@@ -1,0 +1,77 @@
+"""Property-based tests: hash monotonicity and key-space closure."""
+
+from hypothesis import given, strategies as st
+
+from repro.overlay.hashing import (
+    NumericKeyCodec,
+    OrderPreservingStringHash,
+    float_to_ordered_int,
+    uniform_key,
+)
+
+simple_text = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz 0123456789", max_size=20
+)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestStringHash:
+    @given(simple_text, simple_text)
+    def test_monotone(self, a, b):
+        hasher = OrderPreservingStringHash(32)
+        if a < b:
+            assert hasher.key_value(a) <= hasher.key_value(b)
+        elif a > b:
+            assert hasher.key_value(a) >= hasher.key_value(b)
+        else:
+            assert hasher.key_value(a) == hasher.key_value(b)
+
+    @given(simple_text)
+    def test_key_in_range(self, text):
+        hasher = OrderPreservingStringHash(24)
+        value = hasher.key_value(text)
+        assert 0 <= value < (1 << 24)
+        assert len(hasher.key(text)) == 24
+
+    @given(st.text(alphabet="abcdef", min_size=1, max_size=8))
+    def test_strict_on_short_distinct_strings(self, a):
+        # Short strings fit entirely in the bit budget: extending a string
+        # strictly increases its key.
+        hasher = OrderPreservingStringHash(64)
+        assert hasher.key_value(a) < hasher.key_value(a + "a")
+
+
+class TestNumericHash:
+    @given(finite_floats, finite_floats)
+    def test_ordered_int_monotone(self, a, b):
+        if a < b:
+            assert float_to_ordered_int(a) < float_to_ordered_int(b)
+        elif a == b:
+            assert float_to_ordered_int(a) == float_to_ordered_int(b)
+
+    @given(finite_floats)
+    def test_codec_range_contains_point(self, x):
+        codec = NumericKeyCodec(24)
+        lo, hi = codec.range_keys(x, x)
+        assert lo == hi == codec.key_value(x)
+
+    @given(finite_floats, finite_floats, finite_floats)
+    def test_value_inside_interval_maps_inside_key_range(self, a, b, c):
+        lo_v, hi_v = min(a, b), max(a, b)
+        if not lo_v <= c <= hi_v:
+            return
+        codec = NumericKeyCodec(24)
+        lo, hi = codec.range_keys(lo_v, hi_v)
+        assert lo <= codec.key_value(c) <= hi
+
+
+class TestUniformKey:
+    @given(st.text(min_size=1, max_size=30), st.integers(min_value=4, max_value=64))
+    def test_width_and_alphabet(self, text, bits):
+        key = uniform_key(text, bits)
+        assert len(key) == bits
+        assert set(key) <= {"0", "1"}
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_deterministic(self, text):
+        assert uniform_key(text, 32) == uniform_key(text, 32)

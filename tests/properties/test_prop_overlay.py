@@ -1,0 +1,91 @@
+"""Property-based tests: routing correctness and range-query completeness.
+
+These build small networks per example, so example counts are kept modest.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import StoreConfig
+from repro.overlay.network import PGridNetwork
+from repro.overlay.range_query import range_query
+from repro.storage.indexing import EntryKind
+from repro.storage.triple import Triple
+
+ATTR = "t:v"
+
+word_lists = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=8),
+    min_size=1,
+    max_size=25,
+    unique=True,
+)
+
+
+def build(words, n_peers, seed):
+    config = StoreConfig(seed=seed)
+    triples = [Triple(f"x:{i:03d}", ATTR, w) for i, w in enumerate(words)]
+    probe = PGridNetwork(1, config)
+    sample = [e.key for e in probe.entry_factory.entries_for_all(triples)]
+    network = PGridNetwork(n_peers, config, sample_keys=sample)
+    network.insert_triples(triples)
+    return network
+
+
+class TestRoutingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(word_lists, st.integers(min_value=1, max_value=40), st.integers(0, 5))
+    def test_retrieve_finds_every_inserted_word(self, words, n_peers, seed):
+        network = build(words, n_peers, seed)
+        start = seed % network.n_peers
+        for word in words:
+            key = network.codec.attr_value_key(ATTR, word)
+            entries, __ = network.router.retrieve(key, start)
+            found = {
+                e.triple.value
+                for e in entries
+                if e.kind is EntryKind.ATTR_VALUE and e.triple.attribute == ATTR
+            }
+            assert word in found
+
+    @settings(max_examples=25, deadline=None)
+    @given(word_lists, st.integers(min_value=2, max_value=40), st.integers(0, 5))
+    def test_route_terminates_at_responsible_peer(self, words, n_peers, seed):
+        network = build(words, n_peers, seed)
+        for word in words[:5]:
+            key = network.codec.attr_value_key(ATTR, word)
+            peer = network.router.route(key, (seed * 7) % network.n_peers)
+            assert peer.responsible_for(key)
+
+
+class TestRangeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=25,
+            unique=True,
+        ),
+        st.integers(min_value=1, max_value=30),
+        st.integers(-1000, 1000),
+        st.integers(0, 300),
+    )
+    def test_range_query_complete_and_sound(self, values, n_peers, lo, width):
+        config = StoreConfig(seed=1)
+        triples = [Triple(f"x:{i:03d}", ATTR, v) for i, v in enumerate(values)]
+        probe = PGridNetwork(1, config)
+        sample = [e.key for e in probe.entry_factory.entries_for_all(triples)]
+        network = PGridNetwork(n_peers, config, sample_keys=sample)
+        network.insert_triples(triples)
+        hi = lo + width
+        lo_key, hi_key = network.codec.attr_value_range(ATTR, float(lo), float(hi))
+        outcome = range_query(network.router, lo_key, hi_key, 0)
+        got = sorted(
+            e.triple.value
+            for e in outcome.entries
+            if e.kind is EntryKind.ATTR_VALUE
+            and e.triple.attribute == ATTR
+            and lo <= float(e.triple.value) <= hi
+        )
+        expected = sorted(v for v in values if lo <= v <= hi)
+        assert got == expected

@@ -1,0 +1,114 @@
+"""Property-based tests for the VQL language layer.
+
+The central round-trip: rendering any valid AST with ``str()`` and
+re-parsing it yields the same AST — so the printer and the parser agree
+on the whole language, not just the examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import (
+    CompareOp,
+    Comparison,
+    Const,
+    DistCall,
+    OrderBy,
+    SelectQuery,
+    SortDirection,
+    TriplePattern,
+    Var,
+)
+from repro.query.parser import parse
+
+var_names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+idents = st.text(alphabet="abcdefgh", min_size=1, max_size=8).map(
+    lambda s: "ns:" + s
+)
+string_literals = st.text(alphabet="abcdefgh '", max_size=10)
+numbers = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(lambda f: round(f, 3)),
+)
+
+variables = var_names.map(Var)
+constants = st.one_of(string_literals, numbers, idents).map(Const)
+terms = st.one_of(variables, constants)
+
+
+@st.composite
+def patterns(draw):
+    return TriplePattern(
+        subject=draw(variables),
+        predicate=draw(st.one_of(variables, idents.map(Const))),
+        object=draw(terms),
+    )
+
+
+@st.composite
+def queries(draw):
+    pattern_list = draw(st.lists(patterns(), min_size=1, max_size=4))
+    bound = set()
+    for pattern in pattern_list:
+        bound |= pattern.variables()
+    bound_vars = sorted(bound)
+    if not bound_vars:
+        # Ensure at least one variable exists to select.
+        pattern_list[0] = TriplePattern(
+            Var("o"), pattern_list[0].predicate, pattern_list[0].object
+        )
+        bound_vars = ["o"]
+    select = tuple(
+        Var(name)
+        for name in draw(
+            st.lists(
+                st.sampled_from(bound_vars), min_size=1, max_size=3, unique=True
+            )
+        )
+    )
+    filters = []
+    if draw(st.booleans()):
+        variable = Var(draw(st.sampled_from(bound_vars)))
+        op = draw(st.sampled_from(list(CompareOp)))
+        if draw(st.booleans()):
+            left = DistCall(variable, draw(constants))
+            right = Const(draw(st.integers(min_value=0, max_value=9)))
+        else:
+            left = variable
+            right = draw(constants)
+        filters.append(Comparison(left, op, right))
+    order_by = None
+    if draw(st.booleans()):
+        variable = Var(draw(st.sampled_from(bound_vars)))
+        if draw(st.booleans()):
+            order_by = OrderBy(variable, nn_target=Const(draw(string_literals)))
+        else:
+            order_by = OrderBy(
+                variable, draw(st.sampled_from(list(SortDirection)))
+            )
+    limit = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=99)))
+    offset = draw(st.integers(min_value=0, max_value=9)) if limit else 0
+    return SelectQuery(
+        select=select,
+        patterns=tuple(pattern_list),
+        filters=tuple(filters),
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(queries())
+    def test_str_parse_round_trip(self, query):
+        reparsed = parse(str(query))
+        assert reparsed == query
+
+    @settings(max_examples=100)
+    @given(queries())
+    def test_round_trip_is_stable(self, query):
+        once = parse(str(query))
+        twice = parse(str(once))
+        assert once == twice

@@ -1,0 +1,130 @@
+"""Unit tests for exact-match and range operators."""
+
+import pytest
+
+from repro.query.operators.base import OperatorContext, object_from_triples
+from repro.query.operators.exact import (
+    equi_join,
+    keyword_lookup,
+    lookup_object,
+    scan_attribute,
+    select_equals,
+)
+from repro.query.operators.range_scan import numeric_similar, select_range
+from repro.similarity.numeric import Interval
+from repro.storage.triple import Triple
+
+from tests.conftest import LEN_ATTR, TEXT_ATTR, WORDS, build_word_network
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return OperatorContext(build_word_network(n_peers=48))
+
+
+class TestLookupObject:
+    def test_full_object(self, ctx):
+        triples = lookup_object(ctx, "w:0000")
+        assert {t.attribute for t in triples} == {TEXT_ATTR, LEN_ATTR}
+        assert all(t.oid == "w:0000" for t in triples)
+
+    def test_missing_object(self, ctx):
+        assert lookup_object(ctx, "w:nosuch") == ()
+
+    def test_object_from_triples_grouping(self, ctx):
+        triples = lookup_object(ctx, "w:0000")
+        grouped = object_from_triples(triples)
+        assert grouped[TEXT_ATTR] == ["apple"]
+
+
+class TestSelectEquals:
+    def test_string_selection(self, ctx):
+        matches = select_equals(ctx, TEXT_ATTR, "banana")
+        assert [m.matched for m in matches] == ["banana"]
+        assert matches[0].value_of(LEN_ATTR) == len("banana")
+
+    def test_numeric_selection(self, ctx):
+        matches = select_equals(ctx, LEN_ATTR, 5)
+        expected = {w for w in WORDS if len(w) == 5}
+        assert {m.value_of(TEXT_ATTR) for m in matches} == expected
+
+    def test_no_match(self, ctx):
+        assert select_equals(ctx, TEXT_ATTR, "nosuchword") == []
+
+    def test_without_object_fetch(self, ctx):
+        matches = select_equals(ctx, TEXT_ATTR, "banana", fetch_full_objects=False)
+        assert len(matches) == 1
+        assert matches[0].value_of(LEN_ATTR) is None  # only the hit triple
+
+
+class TestKeywordLookup:
+    def test_finds_value_anywhere(self, ctx):
+        triples = keyword_lookup(ctx, "cherry")
+        assert [(t.attribute, t.value) for t in triples] == [(TEXT_ATTR, "cherry")]
+
+    def test_numeric_keyword(self, ctx):
+        triples = keyword_lookup(ctx, 5)
+        assert all(t.value == 5 for t in triples)
+        assert len(triples) == sum(1 for w in WORDS if len(w) == 5)
+
+
+class TestScanAttribute:
+    def test_scans_all_values(self, ctx):
+        triples = scan_attribute(ctx, TEXT_ATTR)
+        assert {t.value for t in triples} == set(WORDS)
+
+    def test_costs_scale_with_region(self, ctx):
+        ctx.network.tracer.reset()
+        scan_attribute(ctx, TEXT_ATTR)
+        scan_cost = ctx.network.tracer.message_count
+        ctx.network.tracer.reset()
+        select_equals(ctx, TEXT_ATTR, "banana", fetch_full_objects=False)
+        exact_cost = ctx.network.tracer.message_count
+        assert exact_cost < scan_cost
+
+
+class TestEquiJoin:
+    def test_join_on_value(self):
+        left = [Triple("a:1", "x", "k"), Triple("a:2", "x", "m")]
+        right = [Triple("b:1", "y", "k"), Triple("b:2", "y", "k")]
+        pairs = equi_join(left, right)
+        assert len(pairs) == 2
+        assert all(l.value == r.value for l, r in pairs)
+
+    def test_empty_sides(self):
+        assert equi_join([], [Triple("b:1", "y", "k")]) == []
+        assert equi_join([Triple("a:1", "x", "k")], []) == []
+
+
+class TestSelectRange:
+    def test_inclusive_bounds(self, ctx):
+        triples = select_range(ctx, LEN_ATTR, Interval(5.0, 7.0))
+        values = sorted(t.value for t in triples)
+        assert values == sorted(len(w) for w in WORDS if 5 <= len(w) <= 7)
+
+    def test_empty_range_region(self, ctx):
+        assert select_range(ctx, LEN_ATTR, Interval(500.0, 600.0)) == []
+
+    def test_results_sorted_by_value(self, ctx):
+        triples = select_range(ctx, LEN_ATTR, Interval(4.0, 10.0))
+        values = [float(t.value) for t in triples]
+        assert values == sorted(values)
+
+
+class TestNumericSimilar:
+    def test_within_distance(self, ctx):
+        matches = numeric_similar(ctx, LEN_ATTR, 6.0, 1.0)
+        expected = sorted(
+            abs(len(w) - 6.0) for w in WORDS if abs(len(w) - 6.0) <= 1.0
+        )
+        assert sorted(m.distance for m in matches) == expected
+
+    def test_full_objects_fetched(self, ctx):
+        matches = numeric_similar(ctx, LEN_ATTR, 4.0, 0.0)
+        assert all(m.value_of(TEXT_ATTR) is not None for m in matches)
+
+    def test_negative_distance_rejected(self, ctx):
+        from repro.core.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            numeric_similar(ctx, LEN_ATTR, 4.0, -1.0)

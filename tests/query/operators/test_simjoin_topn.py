@@ -1,0 +1,138 @@
+"""Unit tests for similarity joins (Algorithm 3) and top-N (Algorithms 4/5)."""
+
+import pytest
+
+from repro.core.config import RankFunction, SimilarityStrategy
+from repro.core.errors import ExecutionError
+from repro.query.operators.base import OperatorContext
+from repro.query.operators.simjoin import anchored_sim_join, sim_join
+from repro.query.operators.topn import top_n_numeric, top_n_string_nn
+from repro.similarity.edit_distance import edit_distance
+
+from tests.conftest import LEN_ATTR, TEXT_ATTR, WORDS, build_word_network
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return OperatorContext(build_word_network(n_peers=48))
+
+
+class TestSimJoin:
+    def test_self_join_matches_brute_force(self, ctx):
+        result = sim_join(ctx, TEXT_ATTR, TEXT_ATTR, 1)
+        expected = {
+            (a, b)
+            for a in WORDS
+            for b in WORDS
+            if edit_distance(a, b) <= 1
+        }
+        got = {(str(p.left.value), p.right.matched) for p in result.pairs}
+        assert got == expected
+
+    def test_left_size_and_probes(self, ctx):
+        result = sim_join(ctx, TEXT_ATTR, TEXT_ATTR, 1)
+        assert result.left_size == len(WORDS)
+        assert result.probes == len(WORDS)
+
+    def test_value_cache_reduces_probes(self, ctx):
+        # All words are distinct here, so force duplicates via LEN_ATTR...
+        # string join caching is exercised with the same-attribute join.
+        cached = sim_join(ctx, TEXT_ATTR, TEXT_ATTR, 1, cache_values=True)
+        assert cached.probes == len(set(WORDS))
+
+    def test_schema_level_join(self, ctx):
+        result = sim_join(ctx, TEXT_ATTR, "", 2, cache_values=True)
+        # Word values are far (edit distance) from attribute names, so the
+        # join is empty — but it must run without error.
+        assert result.left_size == len(WORDS)
+
+    def test_unanchored_left_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            sim_join(ctx, "", TEXT_ATTR, 1)
+
+
+class TestAnchoredSimJoin:
+    def test_anchored_at_search_string(self, ctx):
+        result = anchored_sim_join(ctx, TEXT_ATTR, "apple", TEXT_ATTR, 1)
+        assert result.left_size == 1
+        expected = sorted(w for w in WORDS if edit_distance("apple", w) <= 1)
+        assert sorted(p.right.matched for p in result.pairs) == expected
+
+    def test_anchor_not_in_data(self, ctx):
+        result = anchored_sim_join(ctx, TEXT_ATTR, "nosuch", TEXT_ATTR, 1)
+        assert result.left_size == 0
+        assert result.pairs == []
+
+    def test_strategy_override(self, ctx):
+        naive = anchored_sim_join(
+            ctx, TEXT_ATTR, "apple", TEXT_ATTR, 1,
+            strategy=SimilarityStrategy.NAIVE,
+        )
+        qgram = anchored_sim_join(
+            ctx, TEXT_ATTR, "apple", TEXT_ATTR, 1,
+            strategy=SimilarityStrategy.QGRAM,
+        )
+        assert {p.right.matched for p in naive.pairs} == {
+            p.right.matched for p in qgram.pairs
+        }
+
+
+class TestTopNNumeric:
+    def test_max_ranking(self, ctx):
+        result = top_n_numeric(ctx, LEN_ATTR, 3, RankFunction.MAX)
+        got = [m.distance for m in result.matches]
+        assert got == sorted((float(len(w)) for w in WORDS), reverse=True)[:3]
+
+    def test_min_ranking(self, ctx):
+        result = top_n_numeric(ctx, LEN_ATTR, 3, RankFunction.MIN)
+        got = [m.distance for m in result.matches]
+        assert got == sorted(float(len(w)) for w in WORDS)[:3]
+
+    def test_nn_ranking(self, ctx):
+        result = top_n_numeric(ctx, LEN_ATTR, 5, RankFunction.NN, reference=6.0)
+        got = [m.distance for m in result.matches]
+        assert got == sorted(abs(len(w) - 6.0) for w in WORDS)[:5]
+
+    def test_n_larger_than_data(self, ctx):
+        result = top_n_numeric(ctx, LEN_ATTR, 10_000, RankFunction.MIN)
+        assert len(result.matches) == len(WORDS)
+
+    def test_fetch_full_objects(self, ctx):
+        result = top_n_numeric(
+            ctx, LEN_ATTR, 2, RankFunction.MAX, fetch_full_objects=True
+        )
+        assert all(m.value_of(TEXT_ATTR) is not None for m in result.matches)
+
+    def test_invalid_n(self, ctx):
+        with pytest.raises(ExecutionError):
+            top_n_numeric(ctx, LEN_ATTR, 0, RankFunction.MAX)
+
+    def test_missing_attribute(self, ctx):
+        with pytest.raises(ExecutionError):
+            top_n_numeric(ctx, "word:nosuch", 3, RankFunction.MAX)
+
+    def test_probing_rounds_recorded(self, ctx):
+        result = top_n_numeric(ctx, LEN_ATTR, 3, RankFunction.MAX)
+        assert result.rounds >= 1
+        assert len(result.probed_intervals) == result.rounds
+
+
+class TestTopNString:
+    def test_nearest_neighbours(self, ctx):
+        result = top_n_string_nn(ctx, TEXT_ATTR, "apple", 4, max_distance=5)
+        got = [m.distance for m in result.matches]
+        expected = sorted(edit_distance("apple", w) for w in WORDS)[:4]
+        assert got == expected
+
+    def test_deepening_stops_early(self, ctx):
+        result = top_n_string_nn(ctx, TEXT_ATTR, "apple", 1, max_distance=5)
+        assert result.rounds == 1  # exact match found at d=0
+
+    def test_max_distance_bounds_rounds(self, ctx):
+        result = top_n_string_nn(ctx, TEXT_ATTR, "qqqq", 3, max_distance=2)
+        assert result.rounds == 3  # d = 0, 1, 2
+        assert all(m.distance <= 2 for m in result.matches)
+
+    def test_invalid_n(self, ctx):
+        with pytest.raises(ExecutionError):
+            top_n_string_nn(ctx, TEXT_ATTR, "apple", 0)

@@ -1,0 +1,87 @@
+"""Unit tests for string range and prefix selections."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.query.operators.base import OperatorContext
+from repro.query.operators.string_range import select_prefix, select_string_range
+
+from tests.conftest import TEXT_ATTR, WORDS, build_word_network
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return OperatorContext(build_word_network(n_peers=48))
+
+
+class TestStringRange:
+    def test_inclusive_range(self, ctx):
+        triples = select_string_range(ctx, TEXT_ATTR, "apple", "banana")
+        expected = sorted(w for w in WORDS if "apple" <= w <= "banana")
+        assert [t.value for t in triples] == expected
+
+    def test_strict_bounds(self, ctx):
+        triples = select_string_range(
+            ctx, TEXT_ATTR, "apple", "banana", lo_strict=True, hi_strict=True
+        )
+        expected = sorted(w for w in WORDS if "apple" < w < "banana")
+        assert [t.value for t in triples] == expected
+
+    def test_empty_range_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            select_string_range(ctx, TEXT_ATTR, "z", "a")
+
+    def test_point_range(self, ctx):
+        triples = select_string_range(ctx, TEXT_ATTR, "cherry", "cherry")
+        assert [t.value for t in triples] == ["cherry"]
+
+    def test_full_range(self, ctx):
+        triples = select_string_range(ctx, TEXT_ATTR, "", "\x7f")
+        assert sorted(t.value for t in triples) == sorted(WORDS)
+
+
+class TestPrefix:
+    def test_prefix_search(self, ctx):
+        triples = select_prefix(ctx, TEXT_ATTR, "app")
+        expected = sorted(w for w in WORDS if w.startswith("app"))
+        assert [t.value for t in triples] == expected
+
+    def test_prefix_no_matches(self, ctx):
+        assert select_prefix(ctx, TEXT_ATTR, "zzz") == []
+
+    def test_single_char_prefix(self, ctx):
+        triples = select_prefix(ctx, TEXT_ATTR, "o")
+        expected = sorted(w for w in WORDS if w.startswith("o"))
+        assert [t.value for t in triples] == expected
+
+    def test_empty_prefix_scans_all(self, ctx):
+        triples = select_prefix(ctx, TEXT_ATTR, "")
+        assert sorted(t.value for t in triples) == sorted(WORDS)
+
+    def test_whole_word_prefix(self, ctx):
+        triples = select_prefix(ctx, TEXT_ATTR, "grape")
+        assert sorted(t.value for t in triples) == ["grape", "grapes"]
+
+
+class TestVQLIntegration:
+    def test_string_range_pushdown_planned(self, word_store):
+        text = (
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) "
+            "FILTER (?w >= 'apple') FILTER (?w <= 'banana') }"
+        )
+        assert "string_range" in word_store.explain(text)
+
+    def test_string_range_query_results(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) "
+            "FILTER (?w >= 'apple') FILTER (?w < 'banana') }"
+        )
+        expected = sorted(w for w in WORDS if "apple" <= w < "banana")
+        assert sorted(result.column("w")) == expected
+
+    def test_one_sided_string_range(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) FILTER (?w > 'pear') }}"
+        )
+        expected = sorted(w for w in WORDS if w > "pear")
+        assert sorted(result.column("w")) == expected

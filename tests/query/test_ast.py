@@ -1,0 +1,101 @@
+"""Unit tests for AST validation and introspection."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query.ast import (
+    CompareOp,
+    Comparison,
+    Const,
+    DistCall,
+    OrderBy,
+    SelectQuery,
+    TriplePattern,
+    Var,
+)
+
+
+def pattern(s="o", p="name", o="v"):
+    return TriplePattern(Var(s), Const(p), Var(o))
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        tp = TriplePattern(Var("o"), Var("a"), Const(5))
+        assert tp.variables() == {"o", "a"}
+
+    def test_str(self):
+        assert str(pattern()) == "(?o,'name',?v)"
+
+
+class TestComparison:
+    def test_variables_include_dist_operands(self):
+        comparison = Comparison(
+            DistCall(Var("a"), Var("b")), CompareOp.LT, Const(2)
+        )
+        assert comparison.variables() == {"a", "b"}
+
+    def test_distance_predicate_detection(self):
+        good = Comparison(DistCall(Var("a"), Const("x")), CompareOp.LT, Const(2))
+        assert good.is_distance_predicate()
+        bad = Comparison(Var("a"), CompareOp.LT, Const(2))
+        assert not bad.is_distance_predicate()
+        ge = Comparison(DistCall(Var("a"), Const("x")), CompareOp.GE, Const(2))
+        assert not ge.is_distance_predicate()
+
+
+class TestSelectQueryValidation:
+    def test_valid_query(self):
+        query = SelectQuery(select=(Var("v"),), patterns=(pattern(),))
+        assert query.pattern_variables() == {"o", "v"}
+
+    def test_rejects_empty_select(self):
+        with pytest.raises(QueryError):
+            SelectQuery(select=(), patterns=(pattern(),))
+
+    def test_rejects_no_patterns(self):
+        with pytest.raises(QueryError):
+            SelectQuery(select=(Var("v"),), patterns=())
+
+    def test_rejects_unbound_select_variable(self):
+        with pytest.raises(QueryError):
+            SelectQuery(select=(Var("zz"),), patterns=(pattern(),))
+
+    def test_rejects_unbound_filter_variable(self):
+        comparison = Comparison(Var("zz"), CompareOp.LT, Const(1))
+        with pytest.raises(QueryError):
+            SelectQuery(
+                select=(Var("v"),), patterns=(pattern(),), filters=(comparison,)
+            )
+
+    def test_rejects_unbound_order_variable(self):
+        with pytest.raises(QueryError):
+            SelectQuery(
+                select=(Var("v"),),
+                patterns=(pattern(),),
+                order_by=OrderBy(Var("zz")),
+            )
+
+    def test_rejects_negative_limit(self):
+        with pytest.raises(QueryError):
+            SelectQuery(select=(Var("v"),), patterns=(pattern(),), limit=-1)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(QueryError):
+            SelectQuery(select=(Var("v"),), patterns=(pattern(),), offset=-1)
+
+    def test_str_round_trippable_through_parser(self):
+        from repro.query.parser import parse
+
+        query = SelectQuery(
+            select=(Var("v"),),
+            patterns=(pattern(),),
+            filters=(Comparison(Var("v"), CompareOp.NE, Const(3)),),
+            order_by=OrderBy(Var("v")),
+            limit=4,
+            offset=1,
+        )
+        reparsed = parse(str(query))
+        assert reparsed.select == query.select
+        assert reparsed.limit == 4
+        assert reparsed.offset == 1

@@ -1,0 +1,166 @@
+"""Integration tests for the VQL executor on the word and car stores."""
+
+import pytest
+
+from repro.similarity.edit_distance import edit_distance
+
+from tests.conftest import LEN_ATTR, TEXT_ATTR, WORDS
+
+
+class TestSinglePattern:
+    def test_scan_all(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) }}"
+        )
+        assert sorted(result.column("w")) == sorted(WORDS)
+
+    def test_exact_object(self, word_store):
+        result = word_store.query(
+            f"SELECT ?o WHERE {{ (?o,{TEXT_ATTR},'banana') }}"
+        )
+        assert len(result) == 1
+
+    def test_similarity_filter(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) "
+            "FILTER (dist(?w,'apple') <= 1) }"
+        )
+        expected = sorted(w for w in WORDS if edit_distance("apple", w) <= 1)
+        assert sorted(result.column("w")) == expected
+
+    def test_numeric_range_filter(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) FILTER (?l <= 5) }}"
+        )
+        expected = sorted(len(w) for w in WORDS if len(w) <= 5)
+        assert sorted(result.column("l")) == expected
+
+    def test_equality_filter_via_range(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) FILTER (?l = 4) }}"
+        )
+        assert result.column("l") == [4] * sum(1 for w in WORDS if len(w) == 4)
+
+
+class TestJoins:
+    def test_subject_join_two_patterns(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w,?l WHERE {{ (?o,{TEXT_ATTR},?w) (?o,{LEN_ATTR},?l) "
+            "FILTER (dist(?w,'grape') <= 1) }"
+        )
+        for row in result.rows:
+            assert row["l"] == len(row["w"])
+
+    def test_residual_filter_applied(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w,?l WHERE {{ (?o,{TEXT_ATTR},?w) (?o,{LEN_ATTR},?l) "
+            "FILTER (dist(?w,'apple') <= 2) FILTER (?l != 5) }"
+        )
+        assert all(row["l"] != 5 for row in result.rows)
+        assert result.rows  # 'apples', 'applet', ...
+
+    def test_similarity_join_between_variables(self, word_store):
+        result = word_store.query(
+            f"SELECT ?a,?b WHERE {{ (?x,{TEXT_ATTR},?a) (?y,{TEXT_ATTR},?b) "
+            "FILTER (dist(?a,'band') <= 0) FILTER (dist(?b,?a) <= 2) }"
+        )
+        expected = sorted(w for w in WORDS if edit_distance("band", w) <= 2)
+        assert sorted(result.column("b")) == expected
+
+
+class TestModifiers:
+    def test_order_by_asc(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) }} ORDER BY ?l"
+        )
+        assert result.column("l") == sorted(len(w) for w in WORDS)
+
+    def test_order_by_desc_limit(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) }} ORDER BY ?l DESC LIMIT 3"
+        )
+        assert result.column("l") == sorted(
+            (len(w) for w in WORDS), reverse=True
+        )[:3]
+
+    def test_order_by_nn_string(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) }} "
+            "ORDER BY ?w NN 'apple' LIMIT 4"
+        )
+        got = [edit_distance("apple", w) for w in result.column("w")]
+        expected = sorted(edit_distance("apple", w) for w in WORDS)[:4]
+        assert got == expected
+
+    def test_offset(self, word_store):
+        full = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) }} ORDER BY ?l LIMIT 10"
+        )
+        shifted = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) }} "
+            "ORDER BY ?l LIMIT 5 OFFSET 5"
+        )
+        assert shifted.column("l") == full.column("l")[5:10]
+
+    def test_top_n_pushdown_survives_join_filtering(self, word_store):
+        # The top-N push-down must overfetch past rows the filter kills.
+        result = word_store.query(
+            f"SELECT ?w,?l WHERE {{ (?o,{LEN_ATTR},?l) (?o,{TEXT_ATTR},?w) "
+            "FILTER (dist(?w,'apple') <= 2) } ORDER BY ?l DESC LIMIT 2"
+        )
+        similar_words = [w for w in WORDS if edit_distance("apple", w) <= 2]
+        expected = sorted((len(w) for w in similar_words), reverse=True)[:2]
+        assert result.column("l") == expected
+
+
+class TestCostReporting:
+    def test_cost_positive(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) "
+            "FILTER (dist(?w,'apple') <= 1) }"
+        )
+        assert result.cost.messages > 0
+        assert result.plan.steps
+
+    def test_stats_accumulate(self, word_store):
+        before = word_store.stats.queries
+        word_store.query(f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},'apple') (?o,{TEXT_ATTR},?w) }}")
+        assert word_store.stats.queries == before + 1
+
+
+class TestCarScenarios:
+    def test_paper_example_one_shape(self, car_store):
+        result = car_store.query(
+            """
+            SELECT ?n,?h,?p
+            WHERE { (?o,car:name,?n) (?o,car:hp,?h) (?o,car:price,?p)
+            FILTER (?p < 50000) }
+            ORDER BY ?h DESC LIMIT 5
+            """
+        )
+        assert len(result) <= 5
+        hps = result.column("h")
+        assert hps == sorted(hps, reverse=True)
+        assert all(row["p"] < 50000 for row in result.rows)
+
+    def test_schema_level_typo_detection(self, car_store):
+        result = car_store.query(
+            """
+            SELECT ?d,?a
+            WHERE { (?d,?a,?id) FILTER (dist(?a,'dealer:dlrid') < 3) }
+            ORDER BY ?a NN 'dealer:dlrid'
+            """
+        )
+        attributes = set(result.column("a"))
+        assert "dealer:dlrid" in attributes
+        assert any(a != "dealer:dlrid" for a in attributes)  # typo variants
+
+    def test_instance_similarity_finds_typos(self, car_store):
+        result = car_store.query(
+            """
+            SELECT ?n WHERE { (?o,car:name,?n)
+            FILTER (dist(?n,'bmw roadster') <= 2) }
+            """
+        )
+        names = set(result.column("n"))
+        assert "bmw roadster" in names

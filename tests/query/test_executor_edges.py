@@ -1,0 +1,124 @@
+"""Executor edge cases: constant subjects, NN numerics, error paths."""
+
+import pytest
+
+from repro.core.errors import ExecutionError, QueryError
+from repro.query.executor import _distance, _evaluate_filter, _numeric_value
+from repro.query.ast import CompareOp, Comparison, Const, DistCall, Var
+
+from tests.conftest import LEN_ATTR, TEXT_ATTR, WORDS
+
+
+class TestConstantSubjects:
+    def test_const_subject_pattern(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (w:0000,{TEXT_ATTR},?w) }}"
+        )
+        assert result.rows == [{"w": "apple"}]
+
+    def test_const_subject_mismatch_empty(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (w:9999,{TEXT_ATTR},?w) }}"
+        )
+        assert result.rows == []
+
+    def test_const_subject_and_object_check(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (w:0000,{TEXT_ATTR},'apple') "
+            f"(w:0000,{LEN_ATTR},?l) }}"
+        )
+        assert result.rows == [{"l": 5}]
+
+
+class TestNumericNN:
+    def test_order_by_nn_number(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) }} ORDER BY ?l NN 6 LIMIT 4"
+        )
+        got = result.column("l")
+        expected = sorted(
+            (len(w) for w in WORDS), key=lambda v: (abs(v - 6), v)
+        )[:4]
+        assert sorted(got) == sorted(expected)
+
+    def test_numeric_dist_filter(self, word_store):
+        result = word_store.query(
+            f"SELECT ?l WHERE {{ (?o,{LEN_ATTR},?l) FILTER (dist(?l,5) <= 1) }}"
+        )
+        assert set(result.column("l")) <= {4, 5, 6}
+        assert result.rows
+
+
+class TestHelperFunctions:
+    def test_distance_strings(self):
+        assert _distance("abc", "abd") == 1.0
+
+    def test_distance_numbers(self):
+        assert _distance(3, 7.5) == 4.5
+
+    def test_distance_mixed_rejected(self):
+        with pytest.raises(ExecutionError):
+            _distance("abc", 3)
+
+    def test_numeric_value_int_recovery(self):
+        assert _numeric_value("42.0") == 42
+        assert isinstance(_numeric_value("42.0"), int)
+
+    def test_numeric_value_float(self):
+        assert _numeric_value("2.5") == 2.5
+
+    def test_evaluate_filter_ne(self):
+        comparison = Comparison(Var("x"), CompareOp.NE, Const(3))
+        assert _evaluate_filter(comparison, {"x": 4})
+        assert not _evaluate_filter(comparison, {"x": 3})
+
+    def test_evaluate_filter_dist_nested(self):
+        comparison = Comparison(
+            DistCall(Var("a"), Var("b")), CompareOp.LE, Const(1)
+        )
+        assert _evaluate_filter(comparison, {"a": "cat", "b": "cut"})
+        assert not _evaluate_filter(comparison, {"a": "cat", "b": "dog"})
+
+    def test_evaluate_filter_incomparable(self):
+        comparison = Comparison(Var("x"), CompareOp.LT, Const("abc"))
+        with pytest.raises(ExecutionError):
+            _evaluate_filter(comparison, {"x": 3})
+
+
+class TestModifierEdges:
+    def test_limit_zero(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) }} LIMIT 0"
+        )
+        assert result.rows == []
+
+    def test_offset_beyond_results(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},'apple') (?o,{TEXT_ATTR},?w) }}"
+            " LIMIT 5 OFFSET 100"
+        )
+        assert result.rows == []
+
+    def test_order_by_string_values(self, word_store):
+        result = word_store.query(
+            f"SELECT ?w WHERE {{ (?o,{TEXT_ATTR},?w) }} ORDER BY ?w LIMIT 3"
+        )
+        assert result.column("w") == sorted(WORDS)[:3]
+
+    def test_unbound_select_raises_at_parse(self, word_store):
+        with pytest.raises(QueryError):
+            word_store.query(
+                f"SELECT ?zz WHERE {{ (?o,{TEXT_ATTR},?w) }}"
+            )
+
+
+class TestEmptyIntermediateResults:
+    def test_join_short_circuits_on_empty(self, word_store):
+        messages_before = word_store.network.tracer.message_count
+        result = word_store.query(
+            f"SELECT ?w,?l WHERE {{ (?o,{TEXT_ATTR},'nosuchvalue') "
+            f"(?o,{TEXT_ATTR},?w) (?o,{LEN_ATTR},?l) }}"
+        )
+        assert result.rows == []
+        # The follow-up patterns never ran a scan: cost stays small.
+        assert word_store.network.tracer.message_count - messages_before < 60

@@ -1,0 +1,95 @@
+"""Unit tests for the VQL tokenizer."""
+
+import pytest
+
+from repro.core.errors import VQLSyntaxError
+from repro.query.lexer import TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert types("select WHERE Filter") == [TokenType.KEYWORD] * 3
+        assert texts("select WHERE Filter") == ["SELECT", "WHERE", "FILTER"]
+
+    def test_variables(self):
+        tokens = tokenize("?name ?x_1")
+        assert tokens[0].type is TokenType.VAR
+        assert tokens[0].text == "name"
+        assert tokens[1].text == "x_1"
+
+    def test_var_requires_name(self):
+        with pytest.raises(VQLSyntaxError):
+            tokenize("? name")
+
+    def test_identifiers_with_namespace(self):
+        tokens = tokenize("car:price word_attr a.b-c")
+        assert [t.text for t in tokens[:-1]] == ["car:price", "word_attr", "a.b-c"]
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_dist_is_identifier(self):
+        assert tokenize("dist")[0].type is TokenType.IDENT
+
+    def test_strings(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "hello world"
+
+    def test_string_quote_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(VQLSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 -7")
+        assert [t.text for t in tokens[:-1]] == ["42", "3.14", "-7"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_operators(self):
+        tokens = tokenize("< <= > >= = !=")
+        assert [t.text for t in tokens[:-1]] == ["<", "<=", ">", ">=", "=", "!="]
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(VQLSyntaxError):
+            tokenize("! =")
+
+    def test_punctuation(self):
+        assert types("( ) { } ,") == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.COMMA,
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT ?x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_junk_rejected_with_position(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert excinfo.value.position == 7
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_whole_query_tokenizes(self):
+        text = (
+            "SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'BMW') < 2) } "
+            "ORDER BY ?n NN 'BMW' LIMIT 5 OFFSET 2"
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) > 20

@@ -1,0 +1,189 @@
+"""Unit tests for the VQL parser."""
+
+import pytest
+
+from repro.core.errors import VQLSyntaxError
+from repro.query.ast import (
+    CompareOp,
+    Const,
+    DistCall,
+    SortDirection,
+    Var,
+)
+from repro.query.parser import parse
+
+
+class TestBasicQueries:
+    def test_minimal_query(self):
+        query = parse("SELECT ?v WHERE { (?o,name,?v) }")
+        assert query.select == (Var("v"),)
+        assert len(query.patterns) == 1
+        pattern = query.patterns[0]
+        assert pattern.subject == Var("o")
+        assert pattern.predicate == Const("name")
+        assert pattern.object == Var("v")
+
+    def test_multiple_select_vars(self):
+        query = parse("SELECT ?a,?b WHERE { (?o,x,?a) (?o,y,?b) }")
+        assert query.select == (Var("a"), Var("b"))
+
+    def test_literal_terms(self):
+        query = parse("SELECT ?o WHERE { (?o,price,42) (?o,name,'bmw') }")
+        assert query.patterns[0].object == Const(42)
+        assert query.patterns[1].object == Const("bmw")
+
+    def test_float_literal(self):
+        query = parse("SELECT ?o WHERE { (?o,price,3.5) }")
+        assert query.patterns[0].object == Const(3.5)
+
+    def test_variable_predicate(self):
+        query = parse("SELECT ?o WHERE { (?o,?a,?v) FILTER (dist(?a,'x') < 2) }")
+        assert query.patterns[0].predicate == Var("a")
+
+
+class TestFilters:
+    def test_comparison_filter(self):
+        query = parse("SELECT ?p WHERE { (?o,price,?p) FILTER (?p < 50000) }")
+        comparison = query.filters[0]
+        assert comparison.left == Var("p")
+        assert comparison.op is CompareOp.LT
+        assert comparison.right == Const(50000)
+
+    def test_dist_filter(self):
+        query = parse(
+            "SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'BMW') < 2) }"
+        )
+        comparison = query.filters[0]
+        assert isinstance(comparison.left, DistCall)
+        assert comparison.left.left == Var("n")
+        assert comparison.left.right == Const("BMW")
+        assert comparison.is_distance_predicate()
+
+    def test_dist_between_variables(self):
+        query = parse(
+            "SELECT ?a WHERE { (?o,x,?a) (?p,y,?b) FILTER (dist(?a,?b) <= 1) }"
+        )
+        dist = query.filters[0].left
+        assert isinstance(dist, DistCall)
+        assert dist.variables() == {"a", "b"}
+
+    def test_multiple_filters_conjunctive(self):
+        query = parse(
+            "SELECT ?p WHERE { (?o,price,?p) FILTER (?p < 9) FILTER (?p > 1) }"
+        )
+        assert len(query.filters) == 2
+
+    def test_all_operators(self):
+        for op_text, op in [
+            ("<", CompareOp.LT), ("<=", CompareOp.LE), (">", CompareOp.GT),
+            (">=", CompareOp.GE), ("=", CompareOp.EQ), ("!=", CompareOp.NE),
+        ]:
+            query = parse(
+                f"SELECT ?p WHERE {{ (?o,price,?p) FILTER (?p {op_text} 5) }}"
+            )
+            assert query.filters[0].op is op
+
+
+class TestModifiers:
+    def test_order_by_desc_limit(self):
+        query = parse(
+            "SELECT ?h WHERE { (?o,hp,?h) } ORDER BY ?h DESC LIMIT 5"
+        )
+        assert query.order_by.variable == Var("h")
+        assert query.order_by.direction is SortDirection.DESC
+        assert query.limit == 5
+
+    def test_order_by_default_asc(self):
+        query = parse("SELECT ?h WHERE { (?o,hp,?h) } ORDER BY ?h")
+        assert query.order_by.direction is SortDirection.ASC
+
+    def test_order_by_nn_string(self):
+        query = parse(
+            "SELECT ?a WHERE { (?o,name,?a) } ORDER BY ?a NN 'dlrid'"
+        )
+        assert query.order_by.is_nearest_neighbour
+        assert query.order_by.nn_target == Const("dlrid")
+
+    def test_order_by_nn_number(self):
+        query = parse("SELECT ?h WHERE { (?o,hp,?h) } ORDER BY ?h NN 200")
+        assert query.order_by.nn_target == Const(200)
+
+    def test_offset(self):
+        query = parse("SELECT ?h WHERE { (?o,hp,?h) } LIMIT 5 OFFSET 10")
+        assert query.offset == 10
+
+    def test_nn_requires_literal(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?a WHERE { (?o,x,?a) } ORDER BY ?a NN ?b")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?a WHERE { (?o,x,?a) } LIMIT 2.5")
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("WHERE { (?o,x,?a) }")
+
+    def test_missing_brace(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?a WHERE (?o,x,?a)")
+
+    def test_unclosed_pattern(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?a WHERE { (?o,x,?a }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?a WHERE { (?o,x,?a) } nonsense")
+
+    def test_empty_where(self):
+        from repro.core.errors import QueryError
+
+        with pytest.raises(QueryError):
+            parse("SELECT ?a WHERE { }")
+
+
+class TestPaperExamples:
+    def test_example_one(self):
+        query = parse(
+            """
+            SELECT ?n,?h,?p
+            WHERE { (?o,name,?n) (?o,hp,?h) (?o,price,?p)
+            FILTER (?p < 50000) }
+            ORDER BY ?h DESC LIMIT 5
+            """
+        )
+        assert len(query.patterns) == 3
+        assert query.limit == 5
+
+    def test_example_two(self):
+        query = parse(
+            """
+            SELECT ?n,?h,?p,?dn,?a
+            WHERE { (?x,dealer,?d) (?y,dlrid,?d)
+            (?x,name,?n) (?x,hp,?h) (?x,price,?p)
+            (?y,addr,?a) (?y,name,?dn)
+            FILTER (?p < 50000)
+            FILTER (dist(?n,'BMW') < 2)}
+            ORDER BY ?h DESC LIMIT 5
+            """
+        )
+        assert len(query.patterns) == 7
+        assert len(query.filters) == 2
+
+    def test_example_three(self):
+        query = parse(
+            """
+            SELECT ?n,?p,?dn,?ad
+            WHERE { (?d,?a,?id) (?d,name,?dn) (?d,addr,?ad)
+            (?o,name,?n) (?o,price,?p)
+            (?o,dealer,?cid)
+            FILTER (dist(?id,?cid) < 2)
+            FILTER (dist(?a,'dlrid') < 3)}
+            ORDER BY ?a NN 'dlrid'
+            """
+        )
+        assert query.order_by.is_nearest_neighbour
+        assert query.patterns[0].predicate == Var("a")

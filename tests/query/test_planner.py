@@ -1,0 +1,174 @@
+"""Unit tests for the query planner."""
+
+import pytest
+
+from repro.core.errors import PlanningError
+from repro.query.ast import SelectQuery, TriplePattern, Var, Const
+from repro.query.parser import parse
+from repro.query.planner import AccessMethod, plan
+
+
+def methods(text):
+    return [step.method for step in plan(parse(text)).steps]
+
+
+class TestClassification:
+    def test_exact_lookup(self):
+        assert methods("SELECT ?o WHERE { (?o,name,'bmw') }") == [
+            AccessMethod.EXACT
+        ]
+
+    def test_string_similarity_pushdown(self):
+        plan_ = plan(
+            parse("SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'BMW') < 2) }")
+        )
+        step = plan_.steps[0]
+        assert step.method is AccessMethod.STRING_SIMILARITY
+        assert step.similarity.target == "BMW"
+        assert step.similarity.edit_limit == 1  # strict '<'
+        assert plan_.residual_filters == ()
+
+    def test_le_edit_limit(self):
+        plan_ = plan(
+            parse("SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'BMW') <= 2) }")
+        )
+        assert plan_.steps[0].similarity.edit_limit == 2
+
+    def test_numeric_similarity_pushdown(self):
+        plan_ = plan(
+            parse("SELECT ?p WHERE { (?o,price,?p) FILTER (dist(?p,100) < 5) }")
+        )
+        assert plan_.steps[0].method is AccessMethod.NUMERIC_SIMILARITY
+
+    def test_schema_similarity(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?a WHERE { (?o,?a,?v) FILTER (dist(?a,'dlrid') < 3) }"
+            )
+        )
+        assert plan_.steps[0].method is AccessMethod.SCHEMA_SIMILARITY
+
+    def test_range_pushdown(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?p WHERE { (?o,price,?p) "
+                "FILTER (?p < 100) FILTER (?p >= 10) }"
+            )
+        )
+        step = plan_.steps[0]
+        assert step.method is AccessMethod.RANGE
+        assert step.range.upper == 100
+        assert step.range.lower == 10
+        assert plan_.residual_filters == ()
+
+    def test_reversed_comparison_normalized(self):
+        plan_ = plan(parse("SELECT ?p WHERE { (?o,price,?p) FILTER (100 > ?p) }"))
+        step = plan_.steps[0]
+        assert step.method is AccessMethod.RANGE
+        assert step.range.upper == 100
+
+    def test_plain_scan(self):
+        assert methods("SELECT ?n WHERE { (?o,name,?n) }") == [AccessMethod.SCAN]
+
+
+class TestOrdering:
+    def test_similarity_before_join_patterns(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?n,?h WHERE { (?o,hp,?h) (?o,name,?n) "
+                "FILTER (dist(?n,'BMW') < 2) }"
+            )
+        )
+        assert plan_.steps[0].method is AccessMethod.STRING_SIMILARITY
+        assert plan_.steps[1].method is AccessMethod.OID_JOIN
+
+    def test_scan_rewritten_to_oid_join_when_subject_bound(self):
+        plan_ = plan(
+            parse("SELECT ?o,?p WHERE { (?o,name,'bmw') (?o,price,?p) }")
+        )
+        assert [s.method for s in plan_.steps] == [
+            AccessMethod.EXACT,
+            AccessMethod.OID_JOIN,
+        ]
+
+    def test_range_rewrite_reinstates_filters(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?o,?p WHERE { (?o,name,'bmw') (?o,price,?p) "
+                "FILTER (?p < 100) }"
+            )
+        )
+        assert [s.method for s in plan_.steps] == [
+            AccessMethod.EXACT,
+            AccessMethod.OID_JOIN,
+        ]
+        assert len(plan_.residual_filters) == 1
+
+    def test_simjoin_probe_after_partner(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?a,?b WHERE { (?x,name,?a) (?y,title,?b) "
+                "FILTER (dist(?a,'bmw') < 2) FILTER (dist(?b,?a) < 2) }"
+            )
+        )
+        assert plan_.steps[0].method is AccessMethod.STRING_SIMILARITY
+        assert plan_.steps[1].method is AccessMethod.SIMJOIN_PROBE
+        assert plan_.steps[1].similarity.partner_var == "a"
+
+
+class TestTopNPromotion:
+    def test_promoted_for_order_limit_scan(self):
+        plan_ = plan(
+            parse("SELECT ?h WHERE { (?o,hp,?h) } ORDER BY ?h DESC LIMIT 5")
+        )
+        assert plan_.steps[0].method is AccessMethod.TOP_N
+
+    def test_nn_target_carried(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?n WHERE { (?o,name,?n) } ORDER BY ?n NN 'bmw' LIMIT 3"
+            )
+        )
+        step = plan_.steps[0]
+        assert step.method is AccessMethod.TOP_N
+        assert step.similarity.target == "bmw"
+
+    def test_not_promoted_without_limit(self):
+        plan_ = plan(parse("SELECT ?h WHERE { (?o,hp,?h) } ORDER BY ?h DESC"))
+        assert plan_.steps[0].method is AccessMethod.SCAN
+
+    def test_not_promoted_when_filter_already_selective(self):
+        plan_ = plan(
+            parse(
+                "SELECT ?h WHERE { (?o,hp,?h) FILTER (?h > 100) } "
+                "ORDER BY ?h DESC LIMIT 5"
+            )
+        )
+        assert plan_.steps[0].method is AccessMethod.RANGE
+
+
+class TestErrors:
+    def test_unplannable_variable_predicate(self):
+        query = SelectQuery(
+            select=(Var("v"),),
+            patterns=(TriplePattern(Var("o"), Var("a"), Var("v")),),
+        )
+        with pytest.raises(PlanningError):
+            plan(query)
+
+    def test_variable_predicate_reachable_through_subject(self):
+        plan_ = plan(
+            parse("SELECT ?a,?v WHERE { (?o,name,'bmw') (?o,?a,?v) }")
+        )
+        assert [s.method for s in plan_.steps] == [
+            AccessMethod.EXACT,
+            AccessMethod.OID_JOIN,
+        ]
+
+    def test_explain_mentions_each_step(self):
+        plan_ = plan(
+            parse("SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'x') < 2) }")
+        )
+        text = plan_.explain()
+        assert "string_similarity" in text
+        assert "target='x'" in text

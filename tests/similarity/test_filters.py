@@ -1,0 +1,79 @@
+"""Unit tests for the q-gram candidate filters."""
+
+from repro.similarity.filters import (
+    CountFilter,
+    FilterConfig,
+    length_filter,
+    position_filter,
+)
+from repro.storage.qgrams import PositionalQGram
+
+
+class TestElementaryFilters:
+    def test_position_filter(self):
+        assert position_filter(3, 5, 2)
+        assert not position_filter(3, 6, 2)
+
+    def test_length_filter(self):
+        assert length_filter(10, 12, 2)
+        assert not length_filter(10, 13, 2)
+
+
+class TestFilterConfig:
+    def _grams(self, qpos, qlen, cpos, clen):
+        return (
+            PositionalQGram("abc", qpos, qlen),
+            PositionalQGram("abc", cpos, clen),
+        )
+
+    def test_both_filters_pass(self):
+        query, candidate = self._grams(2, 10, 3, 11)
+        assert FilterConfig().admits(query, candidate, 2)
+
+    def test_position_rejects(self):
+        query, candidate = self._grams(0, 10, 5, 10)
+        assert not FilterConfig().admits(query, candidate, 2)
+
+    def test_length_rejects(self):
+        query, candidate = self._grams(0, 5, 0, 10)
+        assert not FilterConfig().admits(query, candidate, 2)
+
+    def test_disabled_position_filter(self):
+        query, candidate = self._grams(0, 10, 9, 10)
+        config = FilterConfig(use_position=False)
+        assert config.admits(query, candidate, 2)
+
+    def test_disabled_length_filter(self):
+        query, candidate = self._grams(0, 5, 0, 50)
+        config = FilterConfig(use_length=False)
+        assert config.admits(query, candidate, 2)
+
+    def test_all_disabled_admits_everything(self):
+        query, candidate = self._grams(0, 1, 99, 99)
+        config = FilterConfig(use_position=False, use_length=False)
+        assert config.admits(query, candidate, 0)
+
+
+class TestCountFilter:
+    def test_admits_candidates_reaching_threshold(self):
+        # query length 10, q=3, d=1 -> threshold = max(10, len) - 1.
+        counter = CountFilter(query_length=10, q=3, d=1)
+        for __ in range(9):
+            counter.observe("good", 10)
+        counter.observe("bad", 10)
+        assert counter.admitted() == ["good"]
+
+    def test_vacuous_threshold_admits_single_hit(self):
+        counter = CountFilter(query_length=3, q=3, d=3)
+        counter.observe("x", 3)
+        assert counter.admitted() == ["x"]
+
+    def test_threshold_uses_candidate_length(self):
+        counter = CountFilter(query_length=5, q=3, d=1)
+        assert counter.threshold_for(20) == 19
+
+    def test_observed_lists_everything(self):
+        counter = CountFilter(query_length=10, q=3, d=1)
+        counter.observe("a", 10)
+        counter.observe("b", 10)
+        assert sorted(counter.observed()) == ["a", "b"]

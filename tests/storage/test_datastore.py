@@ -1,0 +1,111 @@
+"""Unit tests for the per-peer sorted datastore."""
+
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.overlay.hashing import CompositeKeyCodec
+from repro.storage.datastore import LocalDataStore
+from repro.storage.indexing import EntryFactory, EntryKind, IndexEntry
+from repro.storage.triple import Triple
+
+
+def entries_for_words(words):
+    config = StoreConfig(seed=1)
+    fac = EntryFactory(config, CompositeKeyCodec(config))
+    entries = []
+    for i, w in enumerate(words):
+        entries.extend(fac.entries_for(Triple(f"w:{i}", "t:x", w)))
+    return entries
+
+
+@pytest.fixture()
+def store():
+    s = LocalDataStore()
+    s.add_bulk(entries_for_words(["alpha", "beta", "gamma", "delta"]))
+    return s
+
+
+class TestBasics:
+    def test_len(self, store):
+        assert len(store) > 0
+
+    def test_bulk_count(self):
+        s = LocalDataStore()
+        entries = entries_for_words(["one"])
+        assert s.add_bulk(entries) == len(entries)
+
+    def test_iteration_sorted(self, store):
+        keys = [e.key for e in store]
+        assert keys == sorted(keys)
+
+    def test_incremental_add_keeps_order(self, store):
+        extra = entries_for_words(["omega"])
+        for entry in extra:
+            store.add(entry)
+        keys = [e.key for e in store]
+        assert keys == sorted(keys)
+
+    def test_remove_present(self, store):
+        entry = next(iter(store))
+        assert store.remove(entry)
+        assert entry not in list(store)
+
+    def test_remove_absent(self, store):
+        foreign = entries_for_words(["nothere"])[0]
+        assert not store.remove(foreign)
+
+
+class TestReads:
+    def test_lookup_exact(self, store):
+        entry = next(iter(store))
+        found = store.lookup(entry.key)
+        assert entry in found
+        assert all(e.key == entry.key for e in found)
+
+    def test_lookup_missing(self, store):
+        assert store.lookup("0" * 32) == [] or all(
+            e.key == "0" * 32 for e in store.lookup("0" * 32)
+        )
+
+    def test_prefix_scan(self, store):
+        entry = next(iter(store))
+        prefix = entry.key[:10]
+        found = store.prefix_scan(prefix)
+        assert entry in found
+        assert all(e.key.startswith(prefix) for e in found)
+
+    def test_prefix_scan_empty_prefix_returns_all(self, store):
+        assert len(store.prefix_scan("")) == len(store)
+
+    def test_range_scan_inclusive(self, store):
+        keys = sorted(e.key for e in store)
+        lo, hi = keys[2], keys[-3]
+        found = store.range_scan(lo, hi)
+        assert all(lo <= e.key <= hi for e in found)
+        assert len(found) == sum(1 for k in keys if lo <= k <= hi)
+
+    def test_count_prefix_matches_scan(self, store):
+        entry = next(iter(store))
+        for width in (0, 4, 8, 16):
+            prefix = entry.key[:width]
+            assert store.count_prefix(prefix) == len(store.prefix_scan(prefix))
+
+    def test_entries_of_kind(self, store):
+        oids = list(store.entries_of_kind(EntryKind.OID))
+        assert oids
+        assert all(e.kind is EntryKind.OID for e in oids)
+
+    def test_key_bounds(self, store):
+        lo, hi = store.key_bounds()
+        keys = [e.key for e in store]
+        assert (lo, hi) == (min(keys), max(keys))
+
+    def test_key_bounds_empty(self):
+        assert LocalDataStore().key_bounds() is None
+
+    def test_payload_bytes_positive(self, store):
+        assert store.payload_bytes() > 0
+
+    def test_local_density(self, store):
+        density = store.local_density("", 32)
+        assert density == pytest.approx(len(store) / (1 << 32))

@@ -1,0 +1,90 @@
+"""Unit tests for index-entry generation."""
+
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.overlay.hashing import CompositeKeyCodec
+from repro.storage.indexing import EntryFactory, EntryKind
+from repro.storage.triple import Triple
+
+
+def factory(**config_changes) -> EntryFactory:
+    config = StoreConfig(seed=1).replace(**config_changes)
+    return EntryFactory(config, CompositeKeyCodec(config))
+
+
+class TestEntryGeneration:
+    def test_string_triple_produces_all_families(self):
+        entries = list(factory().entries_for(Triple("w:1", "word:text", "hello")))
+        kinds = {e.kind for e in entries}
+        assert kinds == {
+            EntryKind.OID,
+            EntryKind.ATTR_VALUE,
+            EntryKind.VALUE,
+            EntryKind.INSTANCE_GRAM,
+            EntryKind.SCHEMA_GRAM,
+        }
+
+    def test_instance_gram_count(self):
+        entries = list(factory().entries_for(Triple("w:1", "word:text", "hello")))
+        grams = [e for e in entries if e.kind is EntryKind.INSTANCE_GRAM]
+        assert len(grams) == len("hello") + 2  # extended grams, q=3
+
+    def test_schema_gram_count(self):
+        entries = list(factory().entries_for(Triple("w:1", "word:text", "hello")))
+        grams = [e for e in entries if e.kind is EntryKind.SCHEMA_GRAM]
+        assert len(grams) == len("word:text") + 2
+
+    def test_numeric_value_has_no_instance_grams(self):
+        entries = list(factory().entries_for(Triple("w:1", "word:len", 5)))
+        assert not any(e.kind is EntryKind.INSTANCE_GRAM for e in entries)
+
+    def test_gram_entries_carry_positions(self):
+        entries = factory().entries_for(Triple("w:1", "word:text", "hello"))
+        for entry in entries:
+            if entry.kind is EntryKind.INSTANCE_GRAM:
+                assert entry.gram is not None
+                assert entry.source_length == 5
+                assert entry.position >= 0
+
+    def test_disable_value_index(self):
+        entries = list(
+            factory(index_values=False).entries_for(Triple("w:1", "a", "x"))
+        )
+        assert not any(e.kind is EntryKind.VALUE for e in entries)
+
+    def test_disable_gram_indexes(self):
+        entries = list(
+            factory(
+                index_instance_grams=False, index_schema_grams=False
+            ).entries_for(Triple("w:1", "a", "xyz"))
+        )
+        kinds = {e.kind for e in entries}
+        assert kinds == {EntryKind.OID, EntryKind.ATTR_VALUE, EntryKind.VALUE}
+
+    def test_keys_full_width(self):
+        config = StoreConfig(seed=1)
+        for entry in factory().entries_for(Triple("w:1", "a", "xyz")):
+            assert len(entry.key) == config.key_bits
+
+    def test_payload_size_positive(self):
+        for entry in factory().entries_for(Triple("w:1", "a", "xyz")):
+            assert entry.payload_size() > 0
+
+
+class TestStorageAmplification:
+    def test_amplification_counts_entries_per_triple(self):
+        fac = factory()
+        triples = [Triple("w:1", "t:x", "hello"), Triple("w:2", "t:x", "worlds")]
+        amplification = fac.storage_amplification(triples)
+        entries = sum(1 for t in triples for __ in fac.entries_for(t))
+        assert amplification == pytest.approx(entries / 2)
+
+    def test_empty_input(self):
+        assert factory().storage_amplification([]) == 0.0
+
+    def test_q_increases_entry_count(self):
+        triple = Triple("w:1", "t:x", "hello")
+        small_q = sum(1 for __ in factory(q=2).entries_for(triple))
+        large_q = sum(1 for __ in factory(q=4).entries_for(triple))
+        assert large_q > small_q  # extension adds q-1 pads per side
