@@ -6,6 +6,12 @@ session at a scale that keeps the whole suite in the minutes range.
 standalone harness to paper scale; the pytest benchmarks always run the
 scaled-down configuration — the point here is regression tracking and
 shape verification, not absolute numbers (see EXPERIMENTS.md).
+
+Every test collected under ``benchmarks/`` carries the ``bench`` marker,
+and the root ``pytest.ini`` deselects that marker by default: tier-1
+(``python -m pytest -x -q``) stays fast, while ``python -m pytest
+benchmarks -m bench`` runs this suite explicitly (see
+``benchmarks/README.md``).
 """
 
 from __future__ import annotations
@@ -16,6 +22,20 @@ from repro.core.config import StoreConfig
 from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
 from repro.datasets.paintings import TITLE_ATTRIBUTE, painting_triples
 from repro.bench.sweep import SweepResult, sweep
+
+
+BENCH_DIR = __file__.rsplit("/", 1)[0]
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything in this directory as ``bench``.
+
+    The hook sees the whole session's items, so filter to this
+    directory's before marking.
+    """
+    for item in items:
+        if str(item.fspath).startswith(BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
 
 #: Scaled-down sweep parameters (see module docstring).
 PEER_COUNTS = (64, 256, 1024)

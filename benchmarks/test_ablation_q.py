@@ -8,7 +8,7 @@ larger q means more lookups and more storage but sharper filtering.
 
 import pytest
 
-from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.core.config import SimilarityStrategy
 from repro.overlay.hashing import CompositeKeyCodec
 from repro.query.operators.base import OperatorContext
 from repro.storage.indexing import EntryFactory
@@ -16,14 +16,14 @@ from repro.bench.experiment import build_network
 from repro.bench.workload import make_workload, run_workload
 from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
 
+from benchmarks.conftest import BENCH_CONFIG
+
 CORPUS_SIZE = 600
 PEERS = 256
 
 
 def _workload_messages(q: int) -> tuple[int, float]:
-    config = StoreConfig(
-        seed=0, q=q, index_values=False, index_schema_grams=False
-    )
+    config = BENCH_CONFIG.replace(q=q)
     corpus = bible_triples(CORPUS_SIZE, seed=2)
     strings = [str(t.value) for t in corpus]
     network = build_network(corpus, PEERS, config)

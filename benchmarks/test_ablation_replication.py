@@ -7,23 +7,20 @@ that makes P-Grid's fault tolerance cheap at query time (Section 2).
 
 import pytest
 
-from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.core.config import SimilarityStrategy
 from repro.query.operators.base import OperatorContext
 from repro.bench.experiment import build_network
 from repro.bench.workload import make_workload, run_workload
 from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
+
+from benchmarks.conftest import BENCH_CONFIG
 
 CORPUS_SIZE = 500
 PEERS = 256
 
 
 def _run(replication: int) -> tuple[int, int]:
-    config = StoreConfig(
-        seed=0,
-        replication=replication,
-        index_values=False,
-        index_schema_grams=False,
-    )
+    config = BENCH_CONFIG.replace(replication=replication)
     corpus = bible_triples(CORPUS_SIZE, seed=4)
     strings = [str(t.value) for t in corpus]
     network = build_network(corpus, PEERS, config)

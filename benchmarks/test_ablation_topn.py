@@ -10,11 +10,13 @@ import random
 
 import pytest
 
-from repro.core.config import RankFunction, StoreConfig
+from repro.core.config import RankFunction
 from repro.query.operators.base import OperatorContext
 from repro.query.operators.topn import top_n_numeric
 from repro.storage.triple import Triple
 from repro.bench.experiment import build_network
+
+from benchmarks.conftest import BENCH_CONFIG
 
 ATTR = "reading:value"
 PEERS = 256
@@ -26,8 +28,7 @@ def _network():
     triples = [
         Triple(f"r:{i:05d}", ATTR, rng.gauss(500.0, 150.0)) for i in range(VALUES)
     ]
-    config = StoreConfig(seed=0, index_values=False, index_schema_grams=False)
-    return build_network(triples, PEERS, config)
+    return build_network(triples, PEERS, BENCH_CONFIG)
 
 
 @pytest.mark.parametrize("n", [5, 10, 15])

@@ -7,21 +7,18 @@ ablation quantifies the difference on the order-preserved word corpus,
 whose keys are anything but uniform.
 """
 
-from repro.core.config import StoreConfig, TrieBalancing
+from repro.core.config import TrieBalancing
 from repro.bench.experiment import build_network
 from repro.datasets.bible import bible_triples
+
+from benchmarks.conftest import BENCH_CONFIG
 
 CORPUS_SIZE = 2000
 PEERS = 256
 
 
 def _max_load_ratio(balancing: TrieBalancing) -> float:
-    config = StoreConfig(
-        seed=0,
-        balancing=balancing,
-        index_values=False,
-        index_schema_grams=False,
-    )
+    config = BENCH_CONFIG.replace(balancing=balancing)
     corpus = bible_triples(CORPUS_SIZE, seed=5)
     network = build_network(corpus, PEERS, config)
     loads = network.load_distribution()

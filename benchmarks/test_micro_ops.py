@@ -2,15 +2,28 @@
 
 These use pytest-benchmark's normal calibration — each operation is
 microseconds, and the timings bound what the simulator can sweep.
+
+The gram-lookup and verification ops come in (fast path, reference path)
+pairs: the indexed/batched implementation must beat the scan/per-
+candidate implementation it replaced.  ``python -m repro.bench --json``
+times the same pairs without pytest and records the ratios in
+``BENCH_micro.json``.
 """
+
+import random
+
+import pytest
 
 from repro.core.config import StoreConfig
 from repro.overlay.hashing import CompositeKeyCodec, OrderPreservingStringHash
 from repro.similarity.edit_distance import edit_distance, edit_distance_within
+from repro.similarity.verify import BatchVerifier
+from repro.storage.datastore import LocalDataStore
 from repro.storage.indexing import EntryFactory
-from repro.storage.qgrams import positional_qgrams, qgram_sample
+from repro.storage.qgrams import positional_qgrams, qgram_sample, qgram_tuples
 from repro.storage.triple import Triple
 
+from benchmarks.conftest import BENCH_CONFIG
 from tests.conftest import TEXT_ATTR, build_word_network
 
 TITLE = "portrait of a young woman in blue near the mill after the rain"
@@ -76,3 +89,81 @@ def test_batched_route_many(benchmark):
 
     answers = benchmark(batch)
     assert len(answers) == len(set(keys))
+
+
+# -- gram lookup + verification pairs (the Similar() hot path) ---------------
+
+
+@pytest.fixture(scope="module")
+def bible_store():
+    """One peer-sized store of bible index entries plus probe keys."""
+    from repro.datasets.bible import bible_triples
+
+    factory = EntryFactory(BENCH_CONFIG, CompositeKeyCodec(BENCH_CONFIG))
+    entries = list(factory.entries_for_all(bible_triples(1500, seed=0)))
+    store = LocalDataStore()
+    store.add_bulk(entries)
+    rng = random.Random(0)
+    probes = [rng.choice(entries).key for __ in range(500)]
+    return store, probes
+
+
+@pytest.fixture(scope="module")
+def verification_pile():
+    """A (query, candidates) pile with the workload's natural repeats."""
+    from repro.datasets.bible import bible_triples
+
+    words = sorted({str(t.value) for t in bible_triples(1500, seed=0)})
+    rng = random.Random(0)
+    return rng.choice(words), [rng.choice(words) for __ in range(2000)]
+
+
+def test_gram_lookup_indexed(benchmark, bible_store):
+    store, probes = bible_store
+    store.lookup(probes[0])  # warm the postings map outside the timing
+
+    def indexed():
+        return sum(len(store.lookup(key)) for key in probes)
+
+    assert benchmark(indexed) > 0
+
+
+def test_gram_lookup_scan(benchmark, bible_store):
+    """The pre-index reference path (double bisect per probe)."""
+    store, probes = bible_store
+
+    def scan():
+        return sum(len(store.lookup_scan(key)) for key in probes)
+
+    assert benchmark(scan) > 0
+
+
+def test_verification_batched(benchmark, verification_pile):
+    query, candidates = verification_pile
+
+    def batched():
+        verifier = BatchVerifier(query, 2)
+        distances = verifier.distances(candidates)
+        return sum(1 for c in candidates if distances[c] <= 2)
+
+    matched = benchmark(batched)
+    assert matched == sum(
+        1 for c in candidates if edit_distance_within(query, c, 2) <= 2
+    )
+
+
+def test_verification_single(benchmark, verification_pile):
+    """The pre-batching reference path: one fresh DP per candidate."""
+    query, candidates = verification_pile
+
+    def single():
+        return sum(
+            1 for c in candidates if edit_distance_within(query, c, 2) <= 2
+        )
+
+    assert benchmark(single) >= 0
+
+
+def test_qgram_tuples_title(benchmark):
+    grams = benchmark(qgram_tuples, TITLE, 3)
+    assert len(grams) == len(TITLE) + 2

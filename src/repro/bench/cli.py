@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench --full               # paper scale (slow, memory-heavy)
     python -m repro.bench --peers 128 1024 --words 4000 --repetitions 10
     python -m repro.bench --csv-dir results/   # also write CSV series
+    python -m repro.bench --json               # + BENCH_fig1.json / BENCH_micro.json
 
 Default scale keeps the run to minutes on a laptop; ``--full`` switches
 to the paper's corpus sizes (106 704 words / 66 349 titles) and peer
@@ -17,6 +18,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -28,7 +30,14 @@ from repro.datasets.paintings import (
     TITLE_ATTRIBUTE,
     painting_triples,
 )
-from repro.bench.report import PANELS, format_panel, shape_check, write_csv
+from repro.bench.micro import run_micro
+from repro.bench.report import (
+    PANELS,
+    format_panel,
+    render_fig1_json,
+    shape_check,
+    write_csv,
+)
 from repro.bench.sweep import (
     DEFAULT_PEER_COUNTS,
     PAPER_PEER_COUNTS,
@@ -69,6 +78,21 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--csv-dir", help="directory for CSV series output")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write BENCH_fig1.json and BENCH_micro.json baselines",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=".",
+        help="directory for the BENCH_*.json baselines (default: cwd)",
+    )
+    parser.add_argument(
+        "--skip-shape-check",
+        action="store_true",
+        help="do not fail on qualitative shape findings (tiny smoke runs)",
+    )
     return parser
 
 
@@ -131,12 +155,34 @@ def main(argv: list[str] | None = None) -> int:
         findings = shape_check(result)
         for finding in findings:
             print(f"! shape check ({dataset}): {finding}")
-            status = 1
+            if not args.skip_shape_check:
+                status = 1
         if args.csv_dir:
             os.makedirs(args.csv_dir, exist_ok=True)
             path = os.path.join(args.csv_dir, f"{dataset}.csv")
             write_csv(path, result)
             print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        os.makedirs(args.json_dir, exist_ok=True)
+        scale = {
+            "full": use_full,
+            "words": words,
+            "titles": titles,
+            "peer_counts": list(peer_counts),
+            "repetitions": repetitions,
+            "seed": args.seed,
+        }
+        fig1_path = os.path.join(args.json_dir, "BENCH_fig1.json")
+        with open(fig1_path, "w") as handle:
+            json.dump(render_fig1_json(results, scale), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {fig1_path}", file=sys.stderr)
+        print("# micro ops ...", file=sys.stderr)
+        micro_path = os.path.join(args.json_dir, "BENCH_micro.json")
+        with open(micro_path, "w") as handle:
+            json.dump(run_micro(seed=args.seed), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {micro_path}", file=sys.stderr)
     return status
 
 

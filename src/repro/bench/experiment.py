@@ -5,17 +5,26 @@ dataset's index entries, and replays the same workload under each of the
 three strategies ("started each of the three methods successively").
 The network is shared across strategies exactly as in the paper — all
 index families are present regardless of which strategy queries them.
+
+Sweeps run many cells over the *same* dataset, so the expensive
+per-dataset work — q-gram decomposition, key hashing, entry construction,
+the data-aware trie sample — is hoisted into :class:`PreparedDataset` and
+done once; each cell then only re-places the prepared entries onto its
+own trie (:meth:`repro.overlay.network.PGridNetwork.place_entries`).
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.core.stats import QueryStats
+from repro.overlay.hashing import CompositeKeyCodec
 from repro.overlay.network import PGridNetwork
 from repro.query.operators.base import OperatorContext
+from repro.storage.indexing import EntryFactory, IndexEntry
 from repro.storage.triple import Triple
 from repro.bench.workload import WorkloadQuery, make_workload, run_workload
 
@@ -28,11 +37,55 @@ ALL_STRATEGIES = (
 
 
 @dataclass
+class PreparedDataset:
+    """A dataset's index entries, derived once and re-placed per cell.
+
+    ``entries`` is sorted by key (ties keep generation order, matching
+    what a per-cell :meth:`PGridNetwork.insert_triples` would produce
+    after its deferred sort); ``sample_keys`` doubles as the data-aware
+    trie sample, shared by every cell of a sweep.
+    """
+
+    config: StoreConfig
+    entries: list[IndexEntry]
+    sample_keys: list[str]
+
+    @classmethod
+    def prepare(
+        cls, triples: Sequence[Triple], config: StoreConfig
+    ) -> "PreparedDataset":
+        """Derive and key-sort all index entries for ``triples``."""
+        factory = EntryFactory(config, CompositeKeyCodec(config))
+        entries = sorted(
+            factory.entries_for_all(triples), key=lambda entry: entry.key
+        )
+        return cls(
+            config=config,
+            entries=entries,
+            sample_keys=[entry.key for entry in entries],
+        )
+
+    def build_network(self, n_peers: int) -> PGridNetwork:
+        """A load-balanced network of ``n_peers`` holding this dataset."""
+        network = PGridNetwork(
+            n_peers, self.config, sample_keys=self.sample_keys
+        )
+        network.place_entries(self.entries)
+        return network
+
+
+@dataclass
 class CellResult:
     """Per-strategy workload statistics for one (dataset, n_peers) cell."""
 
     n_peers: int
     by_strategy: dict[SimilarityStrategy, QueryStats] = field(default_factory=dict)
+    #: Wall-clock seconds the whole cell took (build + all strategies).
+    wall_seconds: float = 0.0
+    #: Index entries stored across all peers (replicas counted).
+    total_entries: int = 0
+    #: Stored payload bytes across all peers (cached per-store totals).
+    stored_payload_bytes: int = 0
 
     def messages(self, strategy: SimilarityStrategy) -> int:
         return self.by_strategy[strategy].messages
@@ -45,11 +98,7 @@ def build_network(
     triples: Sequence[Triple], n_peers: int, config: StoreConfig
 ) -> PGridNetwork:
     """Build a load-balanced network and place the dataset on it."""
-    probe = PGridNetwork(1, config)
-    sample_keys = [e.key for e in probe.entry_factory.entries_for_all(triples)]
-    network = PGridNetwork(n_peers, config, sample_keys=sample_keys)
-    network.insert_triples(triples)
-    return network
+    return PreparedDataset.prepare(triples, config).build_network(n_peers)
 
 
 def run_cell(
@@ -61,10 +110,18 @@ def run_cell(
     repetitions: int = 40,
     strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
     workload: Sequence[WorkloadQuery] | None = None,
+    prepared: PreparedDataset | None = None,
 ) -> CellResult:
-    """Run the full strategy comparison for one peer count."""
+    """Run the full strategy comparison for one peer count.
+
+    ``prepared`` short-circuits entry derivation; sweeps pass the same
+    :class:`PreparedDataset` into every cell.
+    """
     config = config if config is not None else StoreConfig()
-    network = build_network(triples, n_peers, config)
+    started = time.perf_counter()
+    if prepared is None:
+        prepared = PreparedDataset.prepare(triples, config)
+    network = prepared.build_network(n_peers)
     if workload is None:
         workload = make_workload(
             strings, network.n_peers, repetitions=repetitions, seed=config.seed
@@ -76,4 +133,7 @@ def run_cell(
         result.by_strategy[strategy] = run_workload(
             ctx, attribute, workload, strategy
         )
+    result.wall_seconds = time.perf_counter() - started
+    result.total_entries = network.total_entries()
+    result.stored_payload_bytes = network.total_payload_bytes()
     return result

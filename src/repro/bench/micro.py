@@ -1,0 +1,151 @@
+"""Micro-benchmarks of the simulator's hot primitives.
+
+``python -m repro.bench --json`` runs this suite and writes the timings
+to ``BENCH_micro.json`` so the repository carries a machine-readable perf
+trajectory alongside the Figure-1 series (``BENCH_fig1.json``).  The ops
+mirror ``benchmarks/test_micro_ops.py`` but need no pytest-benchmark:
+each op is timed with an adaptive ``perf_counter`` loop.
+
+Two ops come in indexed/scan and batched/single pairs on purpose — the
+ratio between the pair members is the measured payoff of the secondary
+indexes and the batched verifier, and is emitted under ``"speedups"``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+from repro.core.config import StoreConfig
+from repro.datasets.bible import bible_triples
+from repro.overlay.hashing import CompositeKeyCodec
+from repro.similarity.edit_distance import edit_distance_within
+from repro.similarity.verify import BatchVerifier
+from repro.storage.datastore import LocalDataStore
+from repro.storage.indexing import EntryFactory
+from repro.storage.qgrams import positional_qgrams, qgram_tuples
+
+#: Schema tag embedded in ``BENCH_micro.json``.
+MICRO_SCHEMA = "repro-bench-micro/v1"
+
+#: Corpus size feeding the micro fixtures (small; ops are microseconds).
+MICRO_WORDS = 1500
+
+#: Edit-distance radius used by the verification ops.
+MICRO_DISTANCE = 2
+
+
+def _time_op(
+    op: Callable[[], object], min_seconds: float = 0.05, max_rounds: int = 50
+) -> dict[str, float]:
+    """Adaptive timing: repeat ``op`` until ``min_seconds`` of runtime."""
+    rounds = 0
+    elapsed = 0.0
+    best = float("inf")
+    while elapsed < min_seconds and rounds < max_rounds:
+        start = time.perf_counter()
+        op()
+        lap = time.perf_counter() - start
+        elapsed += lap
+        best = min(best, lap)
+        rounds += 1
+    mean = elapsed / rounds
+    return {
+        "seconds_per_call": mean,
+        "best_seconds_per_call": best,
+        "calls": rounds,
+    }
+
+
+def run_micro(seed: int = 0) -> dict[str, object]:
+    """Run every micro op; returns the ``BENCH_micro.json`` payload."""
+    config = StoreConfig(
+        seed=seed, index_values=False, index_schema_grams=False
+    )
+    factory = EntryFactory(config, CompositeKeyCodec(config))
+    triples = bible_triples(MICRO_WORDS, seed=seed)
+    entries = list(factory.entries_for_all(triples))
+    store = LocalDataStore()
+    store.add_bulk(entries)
+
+    rng = random.Random(seed)
+    probe_keys = [rng.choice(entries).key for __ in range(2000)]
+    words = sorted({str(t.value) for t in triples})
+    # A candidate pile with natural repeats — what one query's final
+    # verification actually sees across gram peers and replicas.
+    candidates = [rng.choice(words) for __ in range(4000)]
+    query = rng.choice(words)
+    title = "portrait of a young woman in blue near the mill after the rain"
+
+    def gram_lookup_indexed() -> int:
+        return sum(len(store.lookup(key)) for key in probe_keys)
+
+    def gram_lookup_scan() -> int:
+        return sum(len(store.lookup_scan(key)) for key in probe_keys)
+
+    def verify_batched() -> int:
+        verifier = BatchVerifier(query, MICRO_DISTANCE)
+        distances = verifier.distances(candidates)
+        return sum(1 for c in candidates if distances[c] <= MICRO_DISTANCE)
+
+    def verify_single() -> int:
+        return sum(
+            1
+            for c in candidates
+            if edit_distance_within(query, c, MICRO_DISTANCE) <= MICRO_DISTANCE
+        )
+
+    def tokenize_tuples() -> int:
+        return sum(len(qgram_tuples(w, config.q)) for w in words[:500])
+
+    def tokenize_dataclass() -> int:
+        return sum(len(positional_qgrams(w, config.q)) for w in words[:500])
+
+    def entry_generation() -> int:
+        return sum(1 for t in triples[:300] for __ in factory.entries_for(t))
+
+    def payload_total_cached() -> int:
+        return store.total_payload_bytes()
+
+    def edit_distance_banded() -> int:
+        return edit_distance_within(title, "x" * len(title), 3)
+
+    ops = {
+        "gram_lookup_indexed": _time_op(gram_lookup_indexed),
+        "gram_lookup_scan": _time_op(gram_lookup_scan),
+        "verify_batched": _time_op(verify_batched),
+        "verify_single": _time_op(verify_single),
+        "tokenize_tuples": _time_op(tokenize_tuples),
+        "tokenize_dataclass": _time_op(tokenize_dataclass),
+        "entry_generation": _time_op(entry_generation),
+        "payload_total_cached": _time_op(payload_total_cached),
+        "edit_distance_banded": _time_op(edit_distance_banded),
+    }
+
+    def ratio(slow: str, fast: str) -> float:
+        return ops[slow]["best_seconds_per_call"] / max(
+            ops[fast]["best_seconds_per_call"], 1e-12
+        )
+
+    return {
+        "schema": MICRO_SCHEMA,
+        "params": {
+            "seed": seed,
+            "words": MICRO_WORDS,
+            "entries": len(entries),
+            "probe_keys": len(probe_keys),
+            "candidates": len(candidates),
+            "distance": MICRO_DISTANCE,
+        },
+        "ops": ops,
+        "speedups": {
+            "gram_lookup_indexed_vs_scan": ratio(
+                "gram_lookup_scan", "gram_lookup_indexed"
+            ),
+            "verify_batched_vs_single": ratio("verify_single", "verify_batched"),
+            "tokenize_tuples_vs_dataclass": ratio(
+                "tokenize_dataclass", "tokenize_tuples"
+            ),
+        },
+    }

@@ -87,6 +87,57 @@ def write_csv(path: str, result: SweepResult) -> None:
         handle.write(render_csv(result))
 
 
+#: Schema tag embedded in ``BENCH_fig1.json``.
+FIG1_SCHEMA = "repro-bench-fig1/v1"
+
+
+def sweep_to_dict(
+    result: SweepResult,
+    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+) -> dict:
+    """One sweep as a JSON-ready dict (the ``BENCH_fig1.json`` cell list).
+
+    Each cell carries the figure series (messages / megabytes per
+    strategy) plus the perf-trajectory fields: wall-clock seconds, stored
+    entry count and payload bytes.
+    """
+    cells = []
+    for cell in result.cells:
+        cells.append(
+            {
+                "peers": cell.n_peers,
+                "wall_seconds": round(cell.wall_seconds, 4),
+                "total_entries": cell.total_entries,
+                "stored_payload_bytes": cell.stored_payload_bytes,
+                "strategies": {
+                    strategy.value: {
+                        "messages": cell.messages(strategy),
+                        "megabytes": round(cell.megabytes(strategy), 6),
+                    }
+                    for strategy in strategies
+                },
+            }
+        )
+    return {"dataset": result.dataset, "cells": cells}
+
+
+def render_fig1_json(
+    results: dict[str, SweepResult],
+    scale: dict,
+    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+) -> dict:
+    """The full ``BENCH_fig1.json`` payload for a set of sweeps."""
+    return {
+        "schema": FIG1_SCHEMA,
+        "generated_by": "python -m repro.bench --json",
+        "scale": scale,
+        "datasets": {
+            name: sweep_to_dict(result, strategies)
+            for name, result in results.items()
+        },
+    }
+
+
 def shape_check(result: SweepResult) -> list[str]:
     """Qualitative assertions about a sweep, as human-readable findings.
 

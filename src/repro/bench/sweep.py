@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.storage.triple import Triple
-from repro.bench.experiment import ALL_STRATEGIES, CellResult, run_cell
+from repro.bench.experiment import (
+    ALL_STRATEGIES,
+    CellResult,
+    PreparedDataset,
+    run_cell,
+)
 
 #: Default peer counts (log-spaced, scaled down from the paper's
 #: 100..100000 so the default run finishes in minutes; see --full).
@@ -59,8 +64,15 @@ def sweep(
     strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
-    """Run the strategy comparison across peer counts."""
+    """Run the strategy comparison across peer counts.
+
+    Entry derivation and the data-aware trie sample happen once, up
+    front (:class:`PreparedDataset`); each cell only re-places the
+    prepared entries onto its own trie.
+    """
     result = SweepResult(dataset=dataset)
+    config = config if config is not None else StoreConfig()
+    prepared = PreparedDataset.prepare(triples, config)
     for n_peers in peer_counts:
         if progress is not None:
             progress(f"{dataset}: {n_peers} peers ...")
@@ -72,6 +84,7 @@ def sweep(
             config=config,
             repetitions=repetitions,
             strategies=strategies,
+            prepared=prepared,
         )
         result.cells.append(cell)
         if progress is not None:

@@ -109,6 +109,8 @@ def float_to_ordered_int(value: float) -> int:
     """
     if math.isnan(value):
         raise HashingError("cannot hash NaN into the key space")
+    if value == 0:
+        value = 0.0  # collapse -0.0: equal floats must map equally
     bits = _float_bits(value)
     if bits & (1 << 63):  # negative
         return bits ^ 0xFFFFFFFFFFFFFFFF

@@ -182,6 +182,50 @@ class PGridNetwork:
                 self.peers[peer_id].store.add_bulk(entries)
         return count
 
+    def place_entries(self, entries: Sequence[IndexEntry]) -> int:
+        """Bulk-place pre-built index entries sorted by key.
+
+        The incremental-sweep fast path: entry derivation (q-gram
+        decomposition, key hashing) happens once per dataset via
+        :class:`EntryFactory`; each network re-places the same entry list
+        with a single merge walk over its sorted trie paths — O(E + P)
+        partition assignment instead of O(E log P) per-entry bisection,
+        and no re-tokenization.  ``entries`` must be sorted by ``key``
+        (ties in any order); placement is oracle-based exactly like
+        :meth:`insert_triples`.  Returns the number of entries placed.
+        """
+        paths = self._paths
+        n_partitions = len(paths)
+        index = 0
+        buffer: list[IndexEntry] = []
+        count = 0
+
+        def flush(partition_index: int) -> None:
+            if not buffer:
+                return
+            for peer_id in self.partitions[partition_index].peer_ids:
+                self.peers[peer_id].store.add_bulk(buffer)
+            buffer.clear()
+
+        for entry in entries:
+            key = entry.key
+            if not key.startswith(paths[index]) or (
+                index + 1 < n_partitions and paths[index + 1] <= key
+            ):
+                advanced = index
+                while advanced + 1 < n_partitions and paths[advanced + 1] <= key:
+                    advanced += 1
+                if not key.startswith(paths[advanced]):
+                    # Out-of-order or prefix key: fall back to the oracle.
+                    advanced = trie.find_responsible(paths, key)
+                if advanced != index:
+                    flush(index)
+                    index = advanced
+            buffer.append(entry)
+            count += 1
+        flush(index)
+        return count
+
     def insert_entry(self, entry: IndexEntry) -> None:
         """Place one pre-built index entry (incremental insertion)."""
         partition = self.partition_for(entry.key)
@@ -264,3 +308,7 @@ class PGridNetwork:
     def total_entries(self) -> int:
         """Total index entries across all peers (replicas counted)."""
         return sum(len(peer.store) for peer in self.peers)
+
+    def total_payload_bytes(self) -> int:
+        """Total stored payload bytes across all peers (cached per store)."""
+        return sum(peer.store.total_payload_bytes() for peer in self.peers)

@@ -31,6 +31,7 @@ from repro.core.errors import ExecutionError
 from repro.query.operators.base import QUERY_HEADER_BYTES, OperatorContext
 from repro.query.operators.similar import (
     SimilarResult,
+    _candidate_strings,
     _decompose,
     _entry_gram,
     _entry_matches,
@@ -38,6 +39,7 @@ from repro.query.operators.similar import (
     _verify,
 )
 from repro.similarity.filters import CountFilter
+from repro.similarity.verify import BatchVerifier
 from repro.storage.qgrams import count_filter_threshold
 
 
@@ -120,10 +122,18 @@ def similar_collected(
         initiator_id=initiator_id,
         phase="oid_lookup",
     )
+    verifier = BatchVerifier(s, d)
+    verifier.distances(
+        [
+            candidate
+            for triples in objects.values()
+            for candidate in _candidate_strings(triples, attribute, schema_level)
+        ]
+    )
     matches = []
     for oid, triples in objects.items():
         result.candidates_verified += 1
-        match = _verify(s, attribute, d, oid, triples, schema_level)
+        match = _verify(verifier, attribute, oid, triples, schema_level)
         if match is not None:
             matches.append(match)
     result.matches = sorted(matches, key=lambda m: (m.distance, m.oid))

@@ -28,7 +28,7 @@ from repro.query.operators.base import (
     OperatorContext,
 )
 from repro.query.operators.similar import SimilarResult
-from repro.similarity.edit_distance import edit_distance_within
+from repro.similarity.verify import BatchVerifier
 from repro.storage.indexing import EntryKind
 
 
@@ -38,12 +38,15 @@ def naive_similar(
     attribute: str,
     d: int,
     initiator_id: int | None = None,
+    verifier: BatchVerifier | None = None,
 ) -> SimilarResult:
     """Run the naive broadcast variant of ``Similar(s, a, d)``."""
     if d < 0:
         raise ExecutionError(f"similarity distance must be >= 0, got {d}")
     if initiator_id is None:
         initiator_id = ctx.random_initiator()
+    if verifier is None:
+        verifier = BatchVerifier(s, d)
     schema_level = attribute == ""
 
     # Broadcast the query into the region holding the compared strings.
@@ -61,30 +64,36 @@ def naive_similar(
             initiator_id, peer.peer_id, QUERY_HEADER_BYTES + len(s), phase="broadcast"
         )
 
-    # Local comparison at every contacted peer.
+    # Local comparison at every contacted peer.  The kind view narrows the
+    # scan to ``ATTR_VALUE`` entries (each value compared exactly once) —
+    # instance level additionally bisects to the attribute's key region —
+    # and the batched verifier shares DP work across every repeated value.
     result = SimilarResult(matches=[])
     hits: dict[str, tuple[int, str]] = {}
     local_comparisons = 0
     max_peer_comparisons = 0
     for peer in peers:
         matched_here: list[tuple[str, str, int]] = []
-        # A region peer compares only its slice of the attribute's values
-        # (its ATTR_VALUE entries under the region prefix); schema-level
-        # queries have no narrowing prefix and scan the whole store.
+        compared: list[tuple[str, str]] = []
         local_entries = (
-            peer.store if schema_level else peer.store.prefix_scan(region_prefix)
+            peer.store.entries_of_kind(EntryKind.ATTR_VALUE)
+            if schema_level
+            else peer.store.entries_of_kind_prefix(
+                EntryKind.ATTR_VALUE, region_prefix
+            )
         )
-        peer_comparisons = 0
         for entry in local_entries:
             candidate = _comparable_string(entry, attribute, schema_level)
             if candidate is None:
                 continue
-            local_comparisons += 1
-            peer_comparisons += 1
-            distance = edit_distance_within(s, candidate, d)
+            compared.append((entry.triple.oid, candidate))
+        local_comparisons += len(compared)
+        distances = verifier.distances(candidate for __, candidate in compared)
+        for oid, candidate in compared:
+            distance = distances[candidate]
             if distance <= d:
-                matched_here.append((entry.triple.oid, candidate, distance))
-        max_peer_comparisons = max(max_peer_comparisons, peer_comparisons)
+                matched_here.append((oid, candidate, distance))
+        max_peer_comparisons = max(max_peer_comparisons, len(compared))
         if matched_here:
             payload = sum(len(oid) + len(value) + 2 for oid, value, __ in matched_here)
             ctx.router.send_result(

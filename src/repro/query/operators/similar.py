@@ -27,6 +27,7 @@ missed — property-tested against brute force in the test suite.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.core.config import SimilarityStrategy
@@ -36,7 +37,7 @@ from repro.query.operators.base import (
     MatchedObject,
     OperatorContext,
 )
-from repro.similarity.edit_distance import edit_distance_within
+from repro.similarity.verify import BatchVerifier
 from repro.storage.indexing import EntryKind, IndexEntry
 from repro.storage.qgrams import (
     PositionalQGram,
@@ -66,6 +67,7 @@ def similar(
     d: int,
     initiator_id: int | None = None,
     strategy: SimilarityStrategy | None = None,
+    verifier: BatchVerifier | None = None,
 ) -> SimilarResult:
     """Run ``Similar(s, a, d)`` from ``initiator_id``.
 
@@ -73,7 +75,9 @@ def similar(
     ``a == ""`` branch, line 2): candidates are attribute names instead of
     values.  The strategy defaults to the context's configured one; the
     ``NAIVE`` baseline lives in :mod:`repro.query.operators.naive` and is
-    dispatched transparently.
+    dispatched transparently.  Callers running many probes for the same
+    query (joins, iterative deepening) can pass a shared ``verifier`` so
+    its memo survives across probes; it must be built for ``(s, d)``.
     """
     if d < 0:
         raise ExecutionError(f"similarity distance must be >= 0, got {d}")
@@ -84,9 +88,11 @@ def similar(
     ):
         from repro.query.operators.naive import naive_similar
 
-        return naive_similar(ctx, s, attribute, d, initiator_id)
+        return naive_similar(ctx, s, attribute, d, initiator_id, verifier=verifier)
     if initiator_id is None:
         initiator_id = ctx.random_initiator()
+    if verifier is None:
+        verifier = BatchVerifier(s, d)
 
     schema_level = attribute == ""
     query_grams = _decompose(s, ctx.config.q, d, chosen)
@@ -141,10 +147,22 @@ def similar(
             query_bytes=QUERY_HEADER_BYTES + len(s),
             seen_partitions=seen_partitions,
         )
-        for oid, triples in objects.items():
-            if oid in matches:
-                continue
-            match = _verify(s, attribute, d, oid, triples, schema_level)
+        # Final verification (line 23), batched: every candidate string of
+        # this delegation group goes through one shared-prefix DP pass.
+        fresh = [
+            (oid, triples)
+            for oid, triples in objects.items()
+            if oid not in matches
+        ]
+        verifier.distances(
+            [
+                candidate
+                for __, triples in fresh
+                for candidate in _candidate_strings(triples, attribute, schema_level)
+            ]
+        )
+        for oid, triples in fresh:
+            match = _verify(verifier, attribute, oid, triples, schema_level)
             result.candidates_verified += 1
             if match is not None:
                 matches[oid] = match
@@ -213,24 +231,29 @@ def _entry_gram(entry: IndexEntry) -> PositionalQGram:
     return PositionalQGram(entry.gram or "", entry.position, entry.source_length)
 
 
+def _candidate_strings(
+    triples: tuple, attribute: str, schema_level: bool
+) -> Iterator[str]:
+    """The strings one object submits to final verification, in order."""
+    for triple in triples:
+        if schema_level:
+            yield triple.attribute
+        elif triple.attribute == attribute and isinstance(triple.value, str):
+            yield triple.value
+
+
 def _verify(
-    s: str,
+    verifier: BatchVerifier,
     attribute: str,
-    d: int,
     oid: str,
     triples: tuple,
     schema_level: bool,
 ) -> MatchedObject | None:
     """Final edit-distance verification at the oid peer (line 23)."""
+    d = verifier.d
     best: tuple[int, str] | None = None
-    for triple in triples:
-        if schema_level:
-            candidate = triple.attribute
-        else:
-            if triple.attribute != attribute or not isinstance(triple.value, str):
-                continue
-            candidate = triple.value
-        distance = edit_distance_within(s, candidate, d)
+    for candidate in _candidate_strings(triples, attribute, schema_level):
+        distance = verifier.distance(candidate)
         if distance <= d and (best is None or distance < best[0]):
             best = (distance, candidate)
     if best is None:

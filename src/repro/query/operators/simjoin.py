@@ -26,6 +26,7 @@ from repro.core.errors import ExecutionError
 from repro.query.operators.base import MatchedObject, OperatorContext
 from repro.query.operators.exact import scan_attribute, select_equals
 from repro.query.operators.similar import SimilarResult, similar
+from repro.similarity.verify import VerifierPool
 from repro.storage.triple import Triple
 
 
@@ -117,13 +118,22 @@ def _probe_right(
     """Lines 3–6 of Algorithm 3: one similarity selection per left object."""
     result = SimJoinResult(pairs=[], left_size=len(left))
     cache: dict[str, SimilarResult] = {}
+    # Probes for the same left value share one verifier memo even when
+    # whole-probe caching (``cache_values``) is off.
+    verifiers = VerifierPool()
     for triple in sorted(left, key=lambda t: (t.oid, str(t.value))):
         value = str(triple.value)
         if cache_values and value in cache:
             probe = cache[value]
         else:
             probe = similar(
-                ctx, value, right_attribute, d, initiator_id, strategy=strategy
+                ctx,
+                value,
+                right_attribute,
+                d,
+                initiator_id,
+                strategy=strategy,
+                verifier=verifiers.get(value, d),
             )
             result.probes += 1
             result.probe_results.append(probe)

@@ -149,10 +149,8 @@ def _local_density(
 def _local_values(peer, attribute: str) -> list[float]:
     return [
         float(entry.triple.value)
-        for entry in peer.store
-        if entry.kind is EntryKind.ATTR_VALUE
-        and entry.triple.attribute == attribute
-        and is_numeric(entry.triple.value)
+        for entry in peer.store.entries_of_kind(EntryKind.ATTR_VALUE)
+        if entry.triple.attribute == attribute and is_numeric(entry.triple.value)
     ]
 
 

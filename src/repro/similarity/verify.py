@@ -1,0 +1,226 @@
+"""Batched edit-distance verification — the final step of Algorithm 2.
+
+Every similarity operator ends the same way: a pile of candidate strings
+must be checked against one ``(query, d)`` pair (line 23's ``dist()``
+call).  Doing that with one from-scratch banded DP per candidate wastes
+three kinds of work that this module recovers:
+
+* **repeats** — workload candidates repeat heavily (the same value is
+  stored under many oids, replicas and gram keys), so every distinct
+  ``(query, candidate)`` pair is computed at most once and memoized;
+* **shared prefixes** — candidates sorted lexicographically share long
+  prefixes (natural-language corpora especially); the banded DP rows for
+  a common prefix are computed once and reused, trie-style, instead of
+  re-deriving them per candidate.  A prefix whose band minimum already
+  exceeds ``d`` is *dead*: every candidate extending it is rejected with
+  no further DP work;
+* **length filtering** — candidates are bucketed by length first, so the
+  ``|len(a) - len(b)| <= d`` filter runs once per distinct length, not
+  once per candidate.
+
+The verifier is provably equivalent to calling
+:func:`repro.similarity.edit_distance.edit_distance_within` per
+candidate — the property suite checks exactly that — so operators can
+swap it in without changing any match set.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.similarity.edit_distance import edit_distance_within
+
+
+class BatchVerifier:
+    """Verifies candidate strings against one ``(query, d)`` pair.
+
+    Use :meth:`distances` for batches (sorted shared-prefix DP) and
+    :meth:`distance` for one-off probes; both return the exact edit
+    distance when it is ``<= d`` and the saturating sentinel ``d + 1``
+    otherwise, and both share one memo across the verifier's lifetime.
+    """
+
+    __slots__ = ("query", "d", "_memo", "computed")
+
+    def __init__(self, query: str, d: int):
+        self.query = query
+        self.d = d
+        self._memo: dict[str, int] = {}
+        #: Distinct candidates actually sent through a DP (diagnostics:
+        #: ``len`` of every ``distances``/``distance`` input minus memo
+        #: and length-filter hits).
+        self.computed = 0
+
+    # -- single-candidate path ------------------------------------------------
+
+    def distance(self, candidate: str) -> int:
+        """Memoized ``edit_distance_within(query, candidate, d)``."""
+        memo = self._memo
+        found = memo.get(candidate)
+        if found is not None:
+            return found
+        result = edit_distance_within(self.query, candidate, self.d)
+        self.computed += 1
+        memo[candidate] = result
+        return result
+
+    def within(self, candidate: str) -> bool:
+        """Predicate form: True iff ``edit(query, candidate) <= d``."""
+        return self.distance(candidate) <= self.d
+
+    # -- batched path ---------------------------------------------------------
+
+    def distances(self, candidates: Iterable[str]) -> dict[str, int]:
+        """Distances for every distinct candidate, batched.
+
+        Candidates already memoized cost a dict probe; the rest are
+        length-bucketed, sorted, and verified with the shared-prefix
+        banded DP below.
+        """
+        memo = self._memo
+        d = self.d
+        reject = d + 1
+        result: dict[str, int] = {}
+        queued: set[str] = set()
+        by_length: dict[int, list[str]] = defaultdict(list)
+        for candidate in candidates:
+            if candidate in result or candidate in queued:
+                continue
+            found = memo.get(candidate)
+            if found is not None:
+                result[candidate] = found
+            else:
+                queued.add(candidate)
+                by_length[len(candidate)].append(candidate)
+        if not by_length:
+            return result
+        # Length filter, once per distinct candidate length.
+        query_length = len(self.query)
+        pending: list[str] = []
+        for length, bucket in by_length.items():
+            if abs(length - query_length) > d:
+                for candidate in bucket:
+                    memo[candidate] = reject
+                    result[candidate] = reject
+            else:
+                pending.extend(bucket)
+        if pending:
+            pending.sort()
+            self._verify_sorted(pending, result)
+        return result
+
+    def _verify_sorted(self, pending: list[str], result: dict[str, int]) -> None:
+        """Shared-prefix banded DP over sorted, length-compatible candidates.
+
+        ``rows[i]`` is the banded DP row comparing the current candidate's
+        ``i``-char prefix against the query: ``rows[i][j]`` = distance
+        between prefix and ``query[:j]`` for ``|i - j| <= d``, saturated
+        at ``d + 1`` outside the band.  Moving from one candidate to the
+        next pops rows down to their common prefix and extends from there;
+        ``dead_depth`` marks a prefix whose whole band exceeded ``d``, so
+        candidates sharing it are rejected without touching the DP.
+        """
+        query = self.query
+        memo = self._memo
+        d = self.d
+        m = len(query)
+        infinity = d + 1
+        first_row = [j if j <= d else infinity for j in range(m + 1)]
+        rows: list[list[int]] = [first_row]
+        previous = ""
+        dead_depth: int | None = None
+        for candidate in pending:
+            if candidate == query:
+                memo[candidate] = 0
+                result[candidate] = 0
+                continue
+            shared = _common_prefix_len(previous, candidate)
+            previous = candidate
+            if dead_depth is not None:
+                if shared >= dead_depth:
+                    memo[candidate] = infinity
+                    result[candidate] = infinity
+                    continue
+                dead_depth = None
+            del rows[shared + 1 :]
+            self.computed += 1
+            outcome: int | None = None
+            for i in range(len(rows), len(candidate) + 1):
+                row = self._extend_row(rows[i - 1], candidate[i - 1], i)
+                if row is None:
+                    dead_depth = i
+                    outcome = infinity
+                    break
+                rows.append(row)
+            if outcome is None:
+                final = rows[len(candidate)][m]
+                outcome = final if final <= d else infinity
+            memo[candidate] = outcome
+            result[candidate] = outcome
+
+    def _extend_row(
+        self, previous: list[int], ch: str, i: int
+    ) -> list[int] | None:
+        """One banded DP step; ``None`` when the whole band exceeds ``d``."""
+        query = self.query
+        d = self.d
+        m = len(query)
+        infinity = d + 1
+        row = [infinity] * (m + 1)
+        row_min = infinity
+        if i <= d:
+            row[0] = i
+            row_min = i
+        lo = i - d if i - d > 1 else 1
+        hi = i + d if i + d < m else m
+        for j in range(lo, hi + 1):
+            best = previous[j - 1] + (0 if ch == query[j - 1] else 1)
+            other = previous[j] + 1
+            if other < best:
+                best = other
+            other = row[j - 1] + 1
+            if other < best:
+                best = other
+            if best > infinity:
+                best = infinity
+            row[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min >= infinity:
+            return None
+        return row
+
+
+class VerifierPool:
+    """Caches :class:`BatchVerifier` instances per ``(query, d)`` pair.
+
+    One pool per composite operator run (a join's probes, a top-N's
+    deepening rounds) lets every probe touching the same query string
+    share one memo.
+    """
+
+    __slots__ = ("_verifiers",)
+
+    def __init__(self) -> None:
+        self._verifiers: dict[tuple[str, int], BatchVerifier] = {}
+
+    def get(self, query: str, d: int) -> BatchVerifier:
+        key = (query, d)
+        verifier = self._verifiers.get(key)
+        if verifier is None:
+            verifier = BatchVerifier(query, d)
+            self._verifiers[key] = verifier
+        return verifier
+
+    def __len__(self) -> int:
+        return len(self._verifiers)
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    """Length of the longest common prefix of two strings."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i

@@ -12,6 +12,21 @@ Implementation: a list of ``(key, entry)`` kept sorted with ``bisect``.
 Bulk loading appends then sorts once; incremental inserts use
 ``insort``-style insertion.  A small dirty flag avoids resorting on every
 read after a bulk load.
+
+On top of the sorted lists the store maintains three lazy secondary
+structures, built on first use and kept consistent across mutations:
+
+* a **postings map** ``key -> [entries]`` that turns exact-key lookups
+  (the gram-lookup hot path of Algorithm 2) into one dict probe instead
+  of a double bisect plus slice;
+* **kind views** — per-:class:`EntryKind` entry lists in key order, so
+  kind-restricted scans stop filtering the whole store;
+* a **cached payload total** maintained incrementally, so data-volume
+  accounting stops re-summing every entry.
+
+The sorted lists stay the single source of truth; :meth:`lookup_scan`
+keeps the index-free bisect path alive as the equivalence reference for
+tests and micro-benchmarks.
 """
 
 from __future__ import annotations
@@ -25,12 +40,22 @@ from repro.storage.indexing import EntryKind, IndexEntry
 class LocalDataStore:
     """Sorted key → entries store for one peer."""
 
-    __slots__ = ("_keys", "_entries", "_dirty")
+    __slots__ = ("_keys", "_entries", "_dirty", "_postings", "_kind_views", "_payload_total")
 
     def __init__(self) -> None:
         self._keys: list[str] = []
         self._entries: list[IndexEntry] = []
         self._dirty = False
+        #: Lazy ``key -> [entries]`` map; ``None`` until first use or after
+        #: a bulk mutation invalidated it.
+        self._postings: dict[str, list[IndexEntry]] | None = None
+        #: Lazy per-kind ``(keys, entries)`` lists (key order); ``None``
+        #: when stale.
+        self._kind_views: (
+            dict[EntryKind, tuple[list[str], list[IndexEntry]]] | None
+        ) = None
+        #: Running payload total; ``None`` when it must be recomputed.
+        self._payload_total: int | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -45,6 +70,13 @@ class LocalDataStore:
         index = bisect.bisect_right(self._keys, entry.key)
         self._keys.insert(index, entry.key)
         self._entries.insert(index, entry)
+        if self._postings is not None:
+            # bisect_right inserts after existing equal keys, so appending
+            # to the posting list preserves the sorted-store ordering.
+            self._postings.setdefault(entry.key, []).append(entry)
+        self._kind_views = None
+        if self._payload_total is not None:
+            self._payload_total += entry.payload_size()
 
     def add_bulk(self, entries: Iterable[IndexEntry]) -> int:
         """Append many entries; sorting is deferred to the next read.
@@ -54,12 +86,20 @@ class LocalDataStore:
         O(n²) repeated insertion.
         """
         count = 0
+        added_bytes = 0
+        track_payload = self._payload_total is not None
         for entry in entries:
             self._keys.append(entry.key)
             self._entries.append(entry)
+            if track_payload:
+                added_bytes += entry.payload_size()
             count += 1
         if count:
             self._dirty = True
+            self._postings = None
+            self._kind_views = None
+            if track_payload:
+                self._payload_total += added_bytes
         return count
 
     def remove(self, entry: IndexEntry) -> bool:
@@ -70,6 +110,15 @@ class LocalDataStore:
             if self._entries[index] == entry:
                 del self._keys[index]
                 del self._entries[index]
+                if self._postings is not None:
+                    posting = self._postings.get(entry.key)
+                    if posting is not None:
+                        posting.remove(entry)
+                        if not posting:
+                            del self._postings[entry.key]
+                self._kind_views = None
+                if self._payload_total is not None:
+                    self._payload_total -= entry.payload_size()
                 return True
             index += 1
         return False
@@ -77,7 +126,18 @@ class LocalDataStore:
     # -- reads ---------------------------------------------------------------
 
     def lookup(self, key: str) -> list[IndexEntry]:
-        """All entries stored under exactly ``key``."""
+        """All entries stored under exactly ``key`` (postings-map probe)."""
+        if self._postings is None:
+            self._build_postings()
+        return list(self._postings.get(key, ()))
+
+    def lookup_scan(self, key: str) -> list[IndexEntry]:
+        """Index-free :meth:`lookup` via double bisect on the sorted lists.
+
+        The pre-secondary-index implementation, kept as the reference the
+        postings map is property-tested against (and as the baseline of
+        the gram-lookup micro-benchmark).
+        """
         self._ensure_sorted()
         lo = bisect.bisect_left(self._keys, key)
         hi = bisect.bisect_right(self._keys, key)
@@ -118,7 +178,39 @@ class LocalDataStore:
         return hi - lo
 
     def entries_of_kind(self, kind: EntryKind) -> Iterator[IndexEntry]:
-        """All entries of one index family (diagnostics / naive scans)."""
+        """All entries of one index family, in key order (cached view)."""
+        if self._kind_views is None:
+            self._build_kind_views()
+        view = self._kind_views.get(kind)
+        return iter(view[1] if view is not None else ())
+
+    def entries_of_kind_prefix(
+        self, kind: EntryKind, prefix: str
+    ) -> list[IndexEntry]:
+        """Entries of one kind whose key starts with ``prefix``, in key order.
+
+        Combines the kind view with a bisect on its key list — the naive
+        operator's region scan: only the queried attribute's slice of one
+        index family, without filtering either the whole store or the
+        whole kind view.
+        """
+        if self._kind_views is None:
+            self._build_kind_views()
+        view = self._kind_views.get(kind)
+        if view is None:
+            return []
+        view_keys, view_entries = view
+        lo = bisect.bisect_left(view_keys, prefix)
+        if prefix:
+            # Same upper bound trick as count_prefix: keys are binary
+            # strings, so prefix + '2' strictly bounds its extensions.
+            hi = bisect.bisect_left(view_keys, prefix + "2")
+        else:
+            hi = len(view_keys)
+        return view_entries[lo:hi]
+
+    def entries_of_kind_scan(self, kind: EntryKind) -> Iterator[IndexEntry]:
+        """Index-free :meth:`entries_of_kind` (full filtered scan)."""
         self._ensure_sorted()
         return (entry for entry in self._entries if entry.kind == kind)
 
@@ -130,8 +222,15 @@ class LocalDataStore:
         return self._keys[0], self._keys[-1]
 
     def payload_bytes(self) -> int:
-        """Total approximate payload size of all stored entries."""
-        return sum(entry.payload_size() for entry in self._entries)
+        """Total approximate payload size of all stored entries (cached)."""
+        if self._payload_total is None:
+            self._payload_total = sum(
+                entry.payload_size() for entry in self._entries
+            )
+        return self._payload_total
+
+    # The bench report and network aggregation use the explicit name.
+    total_payload_bytes = payload_bytes
 
     def local_density(self, prefix: str, key_bits: int) -> float:
         """Entries per key-space slot under ``prefix``.
@@ -143,6 +242,31 @@ class LocalDataStore:
         count = self.count_prefix(prefix)
         slots = 1 << (key_bits - len(prefix))
         return count / slots
+
+    # -- secondary-index maintenance -----------------------------------------
+
+    def _build_postings(self) -> None:
+        self._ensure_sorted()
+        postings: dict[str, list[IndexEntry]] = {}
+        for key, entry in zip(self._keys, self._entries):
+            bucket = postings.get(key)
+            if bucket is None:
+                postings[key] = [entry]
+            else:
+                bucket.append(entry)
+        self._postings = postings
+
+    def _build_kind_views(self) -> None:
+        self._ensure_sorted()
+        views: dict[EntryKind, tuple[list[str], list[IndexEntry]]] = {}
+        for key, entry in zip(self._keys, self._entries):
+            view = views.get(entry.kind)
+            if view is None:
+                views[entry.kind] = ([key], [entry])
+            else:
+                view[0].append(key)
+                view[1].append(entry)
+        self._kind_views = views
 
     def _ensure_sorted(self) -> None:
         if self._dirty:

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.config import StoreConfig
-from repro.storage.qgrams import positional_qgrams
+from repro.storage.qgrams import qgram_tuples
 from repro.storage.triple import Triple, is_numeric
 
 if TYPE_CHECKING:  # pragma: no cover - layering: storage must not import overlay
@@ -93,24 +93,27 @@ class EntryFactory:
         if config.index_values:
             yield IndexEntry(codec.value_key(triple.value), EntryKind.VALUE, triple)
         if config.index_instance_grams and not is_numeric(triple.value):
-            for gram in positional_qgrams(str(triple.value), config.q):
+            value = str(triple.value)
+            source_length = len(value)
+            for gram, position in qgram_tuples(value, config.q):
                 yield IndexEntry(
-                    codec.attr_value_key(triple.attribute, gram.gram),
+                    codec.attr_value_key(triple.attribute, gram),
                     EntryKind.INSTANCE_GRAM,
                     triple,
-                    gram=gram.gram,
-                    position=gram.position,
-                    source_length=gram.source_length,
+                    gram=gram,
+                    position=position,
+                    source_length=source_length,
                 )
         if config.index_schema_grams:
-            for gram in positional_qgrams(triple.attribute, config.q):
+            source_length = len(triple.attribute)
+            for gram, position in qgram_tuples(triple.attribute, config.q):
                 yield IndexEntry(
-                    codec.schema_gram_key(gram.gram),
+                    codec.schema_gram_key(gram),
                     EntryKind.SCHEMA_GRAM,
                     triple,
-                    gram=gram.gram,
-                    position=gram.position,
-                    source_length=gram.source_length,
+                    gram=gram,
+                    position=position,
+                    source_length=source_length,
                 )
 
     def entries_for_all(self, triples: Iterable[Triple]) -> Iterator[IndexEntry]:

@@ -28,6 +28,7 @@ Two decompositions are provided:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.errors import StorageError
@@ -67,12 +68,23 @@ def positional_qgrams(text: str, q: int) -> list[PositionalQGram]:
 
     A string of length ``n`` yields exactly ``n + q - 1`` grams.
     """
-    extended = extend(text, q)
     source_length = len(text)
     return [
-        PositionalQGram(extended[i : i + q], i, source_length)
-        for i in range(len(extended) - q + 1)
+        PositionalQGram(gram, position, source_length)
+        for gram, position in qgram_tuples(text, q)
     ]
+
+
+def qgram_tuples(text: str, q: int) -> list[tuple[str, int]]:
+    """All overlapping extended q-grams as plain ``(gram, position)`` tuples.
+
+    The hot-path form of :func:`positional_qgrams`: index builds and
+    operators that decompose thousands of strings per query pay for a
+    :class:`PositionalQGram` allocation per gram otherwise.  The source
+    length is ``len(text)`` and needs no per-gram copy.
+    """
+    extended = extend(text, q)
+    return [(extended[i : i + q], i) for i in range(len(extended) - q + 1)]
 
 
 def qgram_sample(text: str, q: int, d: int) -> list[PositionalQGram]:
@@ -102,7 +114,7 @@ def qgram_sample(text: str, q: int, d: int) -> list[PositionalQGram]:
 
 def qgram_set(text: str, q: int) -> set[str]:
     """The plain (unpositioned) extended q-gram set of ``text``."""
-    return {g.gram for g in positional_qgrams(text, q)}
+    return {gram for gram, __ in qgram_tuples(text, q)}
 
 
 def count_filter_threshold(len_a: int, len_b: int, q: int, d: int) -> int:
@@ -128,8 +140,6 @@ def guaranteed_complete(query_length: int, q: int, d: int) -> bool:
 
 def shared_gram_count(a: str, b: str, q: int) -> int:
     """Number of extended q-grams (multiset) shared by two strings."""
-    from collections import Counter
-
-    grams_a = Counter(g.gram for g in positional_qgrams(a, q))
-    grams_b = Counter(g.gram for g in positional_qgrams(b, q))
+    grams_a = Counter(gram for gram, __ in qgram_tuples(a, q))
+    grams_b = Counter(gram for gram, __ in qgram_tuples(b, q))
     return sum((grams_a & grams_b).values())

@@ -51,6 +51,57 @@ class TestCli:
         header = csv_path.read_text().splitlines()[0]
         assert header == "dataset,peers,strategy,messages,megabytes"
 
+    def test_json_baselines(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        # Keep the micro suite fast inside the test run.
+        import repro.bench.micro as micro
+
+        monkeypatch.setattr(micro, "MICRO_WORDS", 120)
+        monkeypatch.setattr(
+            micro, "_time_op", lambda op, **kw: (op() or True)
+            and {"seconds_per_call": 0.0, "best_seconds_per_call": 1e-9, "calls": 1},
+        )
+        status = main(
+            [
+                "--figure", "fig1a",
+                "--peers", "16",
+                "--words", "100",
+                "--repetitions", "1",
+                "--json",
+                "--json-dir", str(tmp_path),
+                "--skip-shape-check",
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+        fig1 = json.loads((tmp_path / "BENCH_fig1.json").read_text())
+        assert fig1["schema"] == "repro-bench-fig1/v1"
+        cells = fig1["datasets"]["bible"]["cells"]
+        assert cells[0]["peers"] == 16
+        assert cells[0]["total_entries"] > 0
+        assert set(cells[0]["strategies"]) == {"qsamples", "qgrams", "strings"}
+        assert all("messages" in s for s in cells[0]["strategies"].values())
+        micro_doc = json.loads((tmp_path / "BENCH_micro.json").read_text())
+        assert micro_doc["schema"] == "repro-bench-micro/v1"
+        assert "gram_lookup_indexed" in micro_doc["ops"]
+        assert "verify_batched_vs_single" in micro_doc["speedups"]
+
+    def test_skip_shape_check_masks_findings(self, capsys):
+        # Tiny runs often violate the qualitative shapes; the flag must
+        # turn findings into warnings instead of a failing status.
+        status = main(
+            [
+                "--figure", "fig1a",
+                "--peers", "16",
+                "--words", "80",
+                "--repetitions", "1",
+                "--skip-shape-check",
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+
     def test_invalid_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["--figure", "fig9z"])

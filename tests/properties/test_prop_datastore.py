@@ -100,3 +100,75 @@ class TestModelEquivalence:
             return
         prefix = entries[-1].key[:width]
         assert store.count_prefix(prefix) == len(store.prefix_scan(prefix))
+
+
+class TestSecondaryIndexEquivalence:
+    """The lazy secondary indexes vs. the index-free scan paths.
+
+    ``stores()`` already interleaves bulk loads (deferred sort, dirty
+    flag) with incremental inserts, so these properties cover the
+    dirty-flag/bulk-load interaction the indexes must survive.
+    """
+
+    @settings(max_examples=100)
+    @given(stores(), keys)
+    def test_indexed_lookup_matches_scan(self, pair, probe):
+        store, entries = pair
+        assert store.lookup(probe) == store.lookup_scan(probe)
+        if entries:
+            assert store.lookup(entries[0].key) == store.lookup_scan(
+                entries[0].key
+            )
+
+    @settings(max_examples=100)
+    @given(stores())
+    def test_kind_view_matches_scan(self, pair):
+        store, __ = pair
+        assert list(store.entries_of_kind(EntryKind.ATTR_VALUE)) == list(
+            store.entries_of_kind_scan(EntryKind.ATTR_VALUE)
+        )
+        assert list(store.entries_of_kind(EntryKind.OID)) == list(
+            store.entries_of_kind_scan(EntryKind.OID)
+        )
+
+    @settings(max_examples=100)
+    @given(stores(), st.lists(keys, max_size=5))
+    def test_indexes_survive_mutation_cycles(self, pair, extra_keys):
+        """Warm indexes, mutate every way, and re-check against scans."""
+        store, entries = pair
+        if entries:
+            store.lookup(entries[0].key)  # build postings
+            list(store.entries_of_kind(EntryKind.ATTR_VALUE))
+            store.payload_bytes()
+        serial = len(entries)
+        added = []
+        for i, key in enumerate(extra_keys):
+            entry = entry_for(key, serial + i)
+            added.append(entry)
+            if i % 2:
+                store.add(entry)  # incremental: indexes updated in place
+            else:
+                store.add_bulk([entry])  # bulk: dirty flag + invalidation
+        for entry in added:
+            assert entry in store.lookup(entry.key)
+            assert store.lookup(entry.key) == store.lookup_scan(entry.key)
+        if entries:
+            victim = entries[0]
+            assert store.remove(victim)
+            assert victim not in store.lookup(victim.key)
+            assert store.lookup(victim.key) == store.lookup_scan(victim.key)
+        assert store.payload_bytes() == sum(
+            e.payload_size() for e in store
+        )
+
+    @settings(max_examples=100)
+    @given(stores())
+    def test_payload_total_tracks_mutations(self, pair):
+        store, entries = pair
+        expected = sum(e.payload_size() for e in entries)
+        assert store.payload_bytes() == expected
+        assert store.total_payload_bytes() == expected
+        for entry in entries[: len(entries) // 2]:
+            store.remove(entry)
+            expected -= entry.payload_size()
+            assert store.payload_bytes() == expected

@@ -109,3 +109,74 @@ class TestReads:
     def test_local_density(self, store):
         density = store.local_density("", 32)
         assert density == pytest.approx(len(store) / (1 << 32))
+
+
+class TestSecondaryIndexes:
+    def test_lookup_equals_scan(self, store):
+        for entry in store:
+            assert store.lookup(entry.key) == store.lookup_scan(entry.key)
+
+    def test_postings_track_incremental_add(self, store):
+        entry = next(iter(store))
+        store.lookup(entry.key)  # warm the postings map
+        extra = entries_for_words(["omega"])
+        for e in extra:
+            store.add(e)
+        for e in extra:
+            assert e in store.lookup(e.key)
+            assert store.lookup(e.key) == store.lookup_scan(e.key)
+
+    def test_postings_invalidate_on_bulk(self, store):
+        entry = next(iter(store))
+        store.lookup(entry.key)  # warm
+        extra = entries_for_words(["sigma"])
+        store.add_bulk(extra)
+        for e in extra:
+            assert e in store.lookup(e.key)
+
+    def test_postings_track_remove(self, store):
+        entry = next(iter(store))
+        store.lookup(entry.key)  # warm
+        assert store.remove(entry)
+        assert entry not in store.lookup(entry.key)
+        assert store.lookup(entry.key) == store.lookup_scan(entry.key)
+
+    def test_kind_view_equals_scan(self, store):
+        for kind in EntryKind:
+            assert list(store.entries_of_kind(kind)) == list(
+                store.entries_of_kind_scan(kind)
+            )
+
+    def test_kind_prefix_scan_equals_filtered_prefix_scan(self, store):
+        entry = next(iter(store))
+        for width in (0, 4, 10):
+            prefix = entry.key[:width]
+            for kind in (EntryKind.ATTR_VALUE, EntryKind.OID):
+                expected = [
+                    e for e in store.prefix_scan(prefix) if e.kind is kind
+                ]
+                assert store.entries_of_kind_prefix(kind, prefix) == expected
+
+    def test_kind_prefix_scan_absent_kind(self):
+        assert LocalDataStore().entries_of_kind_prefix(EntryKind.OID, "") == []
+
+    def test_kind_view_rebuilds_after_add(self, store):
+        before = len(list(store.entries_of_kind(EntryKind.OID)))
+        for e in entries_for_words(["extra"]):
+            store.add(e)
+        after = len(list(store.entries_of_kind(EntryKind.OID)))
+        assert after == before + 1
+
+    def test_total_payload_bytes_alias(self, store):
+        assert store.total_payload_bytes() == store.payload_bytes()
+
+    def test_payload_cache_tracks_add_and_remove(self, store):
+        total = store.payload_bytes()
+        extra = entries_for_words(["rho"])
+        store.add_bulk(extra)
+        total += sum(e.payload_size() for e in extra)
+        assert store.payload_bytes() == total
+        store.remove(extra[0])
+        total -= extra[0].payload_size()
+        assert store.payload_bytes() == total
+        assert store.payload_bytes() == sum(e.payload_size() for e in store)

@@ -12,8 +12,22 @@ from repro.storage.qgrams import (
     positional_qgrams,
     qgram_sample,
     qgram_set,
+    qgram_tuples,
     shared_gram_count,
 )
+
+
+class TestQGramTuples:
+    def test_matches_dataclass_decomposition(self):
+        for text in ("", "a", "abc", "hello world"):
+            for q in (1, 2, 3, 4):
+                tuples = qgram_tuples(text, q)
+                grams = positional_qgrams(text, q)
+                assert tuples == [(g.gram, g.position) for g in grams]
+
+    def test_invalid_q(self):
+        with pytest.raises(StorageError):
+            qgram_tuples("ab", 0)
 
 
 class TestExtend:
