@@ -12,6 +12,11 @@ them into a 128-peer overlay, and runs the paper's three example queries:
 2. instance-level similarity: the same, restricted to BMW-ish names,
    joined with the selling dealers;
 3. schema-level similarity: detect misspelled ``dlrid`` attributes.
+
+The point of the scenario is *heterogeneity tolerance*: no global
+schema, typos in both values and attribute names, and yet every query
+answers correctly because similarity predicates run inside the overlay
+(docs/ARCHITECTURE.md, "query/" section).  Runs in a few seconds.
 """
 
 from repro import StoreConfig, VerticalStore

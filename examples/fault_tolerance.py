@@ -9,6 +9,13 @@ in each partition is reachable (ensured through redundant routing table
 entries and replication)" — made concrete: a replicated network keeps
 answering similarity queries while 40% of its peers are offline, and the
 availability math shows how to size the replication factor.
+
+Uses ``replication=3`` (three peers per partition) and the
+``ChurnController`` from ``repro.overlay.churn``; the replication/
+availability formulas live in ``repro.overlay.replication``.  Note that
+benchmark-style memoization (docs/ARCHITECTURE.md, "Naive-broadcast
+scaling") is deliberately *not* used here — stores change under churn,
+which is exactly the situation the memo's contract excludes.
 """
 
 from repro import StoreConfig, Triple, VerticalStore

@@ -6,7 +6,10 @@ Run with::
 
 Builds a 64-peer P-Grid, loads a small word collection as vertical
 triples, and demonstrates the three query surfaces: the direct operator
-API (``similar``), VQL text queries, and cost introspection.
+API (``similar``), VQL text queries, and cost introspection.  Finishes
+in a few seconds and doubles as the documentation smoke test (CI runs
+it on every push).  Start here, then see README.md for the module map
+and docs/ARCHITECTURE.md for how the pieces fit the paper.
 """
 
 from repro import StoreConfig, Triple, VerticalStore

@@ -11,6 +11,11 @@ attribute spellings and value formats — bare, self-describing attribute
 names, exactly as the vertical scheme allows — then uses schema-level
 similarity to discover the attribute variants and instance-level
 similarity to reconcile station names, all without a global dictionary.
+
+Schema-level queries are the ``a = ""`` branch of Algorithm 2: the
+compared strings are attribute *names*, whose q-grams are indexed under
+their own key family (``index_schema_grams``).  See
+docs/ARCHITECTURE.md, "storage/" section, for the key families.
 """
 
 import random

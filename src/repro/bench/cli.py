@@ -8,11 +8,21 @@ Usage::
     python -m repro.bench --peers 128 1024 --words 4000 --repetitions 10
     python -m repro.bench --csv-dir results/   # also write CSV series
     python -m repro.bench --json               # + BENCH_fig1.json / BENCH_micro.json
+    python -m repro.bench --full --naive-sample 0.02   # estimate naive cells
+    python -m repro.bench --check-incremental  # assert incremental == scratch
 
 Default scale keeps the run to minutes on a laptop; ``--full`` switches
 to the paper's corpus sizes (106 704 words / 66 349 titles) and peer
 counts (100 .. 100 000).  Shapes are preserved at either scale; see
 EXPERIMENTS.md.
+
+Sweeps always run on the incremental engine (shared trie-derivation
+state across cells, whole-workload naive memoization); both are
+equivalence-preserving, so the measured series are bit-identical to a
+from-scratch run.  ``--naive-sample RATE`` is the only switch that
+trades exactness for speed: it samples each naive broadcast region at
+~RATE and extrapolates, and is recorded in the JSON (``scale`` and
+per-cell ``naive_sampled``) so estimated series stay distinguishable.
 """
 
 from __future__ import annotations
@@ -93,6 +103,21 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not fail on qualitative shape findings (tiny smoke runs)",
     )
+    parser.add_argument(
+        "--naive-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="sampled-broadcast estimator for the naive strategy: scan "
+        "only ~RATE of each region's partitions and extrapolate its "
+        "cost (0 = exact broadcast, the default; recorded in the JSON)",
+    )
+    parser.add_argument(
+        "--check-incremental",
+        action="store_true",
+        help="rebuild every cell's network from scratch and assert the "
+        "incremental build is identical (slow; also REPRO_SWEEP_CHECK=1)",
+    )
     return parser
 
 
@@ -120,6 +145,18 @@ def main(argv: list[str] | None = None) -> int:
     def progress(message: str) -> None:
         print(f"  [{time.strftime('%H:%M:%S')}] {message}", file=sys.stderr)
 
+    if not 0.0 <= args.naive_sample < 1.0:
+        print(
+            f"--naive-sample must be in [0, 1), got {args.naive_sample}",
+            file=sys.stderr,
+        )
+        return 2
+    check = args.check_incremental or None  # None -> REPRO_SWEEP_CHECK
+    sweep_options = {
+        "naive_sample_rate": args.naive_sample,
+        "check_equivalence": check,
+    }
+
     results: dict[str, SweepResult] = {}
     if "bible" in datasets_needed:
         print(
@@ -132,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         results["bible"] = sweep(
             "bible", corpus, TEXT_ATTRIBUTE, strings, peer_counts,
             config=config, repetitions=repetitions, progress=progress,
+            **sweep_options,
         )
     if "titles" in datasets_needed:
         print(
@@ -143,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         results["titles"] = sweep(
             "titles", corpus, TITLE_ATTRIBUTE, strings, peer_counts,
             config=config, repetitions=repetitions, progress=progress,
+            **sweep_options,
         )
 
     status = 0
@@ -171,6 +210,9 @@ def main(argv: list[str] | None = None) -> int:
             "peer_counts": list(peer_counts),
             "repetitions": repetitions,
             "seed": args.seed,
+            # 0.0 = exact broadcasts; > 0 marks the "strings" series of
+            # every cell as sampled-broadcast *estimates*.
+            "naive_sample_rate": args.naive_sample,
         }
         fig1_path = os.path.join(args.json_dir, "BENCH_fig1.json")
         with open(fig1_path, "w") as handle:

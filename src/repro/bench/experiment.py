@@ -22,8 +22,12 @@ from dataclasses import dataclass, field
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.core.stats import QueryStats
 from repro.overlay.hashing import CompositeKeyCodec
+from repro.overlay.incremental import IncrementalNetworkBuilder
 from repro.overlay.network import PGridNetwork
 from repro.query.operators.base import OperatorContext
+from repro.query.operators.naive import NaiveWorkloadMemo
+from repro.query.operators.similar import GramScanMemo
+from repro.similarity.verify import VerifierPool
 from repro.storage.indexing import EntryFactory, IndexEntry
 from repro.storage.triple import Triple
 from repro.bench.workload import WorkloadQuery, make_workload, run_workload
@@ -73,6 +77,24 @@ class PreparedDataset:
         network.place_entries(self.entries)
         return network
 
+    def make_builder(
+        self, check_equivalence: bool = False
+    ) -> IncrementalNetworkBuilder:
+        """An incremental builder over this dataset (one per sweep).
+
+        The builder shares trie split counts across every network it
+        builds, so a sweep's later (larger) cells derive their tries from
+        mostly cached splits; ``check_equivalence=True`` re-builds every
+        cell from scratch and asserts structural equality (the sweep
+        engine's paranoia mode).
+        """
+        return IncrementalNetworkBuilder(
+            config=self.config,
+            entries=self.entries,
+            sample_keys=self.sample_keys,
+            check_equivalence=check_equivalence,
+        )
+
 
 @dataclass
 class CellResult:
@@ -82,10 +104,14 @@ class CellResult:
     by_strategy: dict[SimilarityStrategy, QueryStats] = field(default_factory=dict)
     #: Wall-clock seconds the whole cell took (build + all strategies).
     wall_seconds: float = 0.0
+    #: Wall-clock seconds of network construction + entry placement alone.
+    build_seconds: float = 0.0
     #: Index entries stored across all peers (replicas counted).
     total_entries: int = 0
     #: Stored payload bytes across all peers (cached per-store totals).
     stored_payload_bytes: int = 0
+    #: Sampled-broadcast estimator rate the cell ran with (0 = exact).
+    naive_sample_rate: float = 0.0
 
     def messages(self, strategy: SimilarityStrategy) -> int:
         return self.by_strategy[strategy].messages
@@ -111,25 +137,69 @@ def run_cell(
     strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
     workload: Sequence[WorkloadQuery] | None = None,
     prepared: PreparedDataset | None = None,
+    builder: IncrementalNetworkBuilder | None = None,
+    memoize_naive: bool = True,
+    memoize_gram_scans: bool = True,
+    share_verifiers: bool = True,
+    naive_sample_rate: float = 0.0,
 ) -> CellResult:
     """Run the full strategy comparison for one peer count.
 
     ``prepared`` short-circuits entry derivation; sweeps pass the same
-    :class:`PreparedDataset` into every cell.
+    :class:`PreparedDataset` into every cell.  ``builder`` additionally
+    carries trie-derivation state across cells (the incremental sweep
+    engine); when given, it takes precedence over ``prepared`` for
+    network construction.
+
+    ``memoize_naive`` installs a whole-workload
+    :class:`~repro.query.operators.naive.NaiveWorkloadMemo`,
+    ``memoize_gram_scans`` a
+    :class:`~repro.query.operators.similar.GramScanMemo`, for the cell —
+    sound here because the cell's stores are static once loaded, and
+    cost-transparent (identical message/byte series) by construction.
+    ``naive_sample_rate`` > 0 opts into the sampled-broadcast estimator;
+    the default 0 keeps every naive series exact.
     """
     config = config if config is not None else StoreConfig()
     started = time.perf_counter()
-    if prepared is None:
-        prepared = PreparedDataset.prepare(triples, config)
-    network = prepared.build_network(n_peers)
+    if builder is not None:
+        network = builder.build(n_peers)
+        report = builder.last_report
+        build_seconds = report.build_seconds if report is not None else 0.0
+    else:
+        if prepared is None:
+            prepared = PreparedDataset.prepare(triples, config)
+        # Time only construction + placement: dataset preparation is
+        # per-dataset work, not part of the cell's build metric.
+        build_started = time.perf_counter()
+        network = prepared.build_network(n_peers)
+        build_seconds = time.perf_counter() - build_started
     if workload is None:
         workload = make_workload(
             strings, network.n_peers, repetitions=repetitions, seed=config.seed
         )
-    result = CellResult(n_peers=n_peers)
+    result = CellResult(
+        n_peers=n_peers,
+        build_seconds=build_seconds,
+        naive_sample_rate=naive_sample_rate,
+    )
+    memo = NaiveWorkloadMemo(network) if memoize_naive else None
+    scan_memo = GramScanMemo(network) if memoize_gram_scans else None
+    # One verifier pool for the whole cell: the strategies replay the same
+    # workload, so later strategies re-verify (query, d) pairs an earlier
+    # one already solved.  Verification is deterministic — sharing the
+    # memos changes wall-clock only, never a match set or a message.
+    verifier_pool = VerifierPool() if share_verifiers else None
     for strategy in strategies:
         network.tracer.reset()
-        ctx = OperatorContext(network, strategy=strategy)
+        ctx = OperatorContext(
+            network,
+            strategy=strategy,
+            naive_memo=memo,
+            naive_sample_rate=naive_sample_rate,
+            verifier_pool=verifier_pool,
+            gram_scan_memo=scan_memo,
+        )
         result.by_strategy[strategy] = run_workload(
             ctx, attribute, workload, strategy
         )

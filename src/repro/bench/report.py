@@ -87,8 +87,11 @@ def write_csv(path: str, result: SweepResult) -> None:
         handle.write(render_csv(result))
 
 
-#: Schema tag embedded in ``BENCH_fig1.json``.
-FIG1_SCHEMA = "repro-bench-fig1/v1"
+#: Schema tag embedded in ``BENCH_fig1.json``.  v2 adds per-cell
+#: ``build_seconds`` (incremental network construction + placement) and,
+#: when the sampled-broadcast estimator is active, ``naive_sampled`` —
+#: all additive; the v1 series fields are unchanged.
+FIG1_SCHEMA = "repro-bench-fig1/v2"
 
 
 def sweep_to_dict(
@@ -98,26 +101,31 @@ def sweep_to_dict(
     """One sweep as a JSON-ready dict (the ``BENCH_fig1.json`` cell list).
 
     Each cell carries the figure series (messages / megabytes per
-    strategy) plus the perf-trajectory fields: wall-clock seconds, stored
-    entry count and payload bytes.
+    strategy) plus the perf-trajectory fields: wall-clock seconds,
+    network build seconds, stored entry count and payload bytes.  Cells
+    measured with the sampled-broadcast estimator additionally carry
+    ``"naive_sampled": true`` so estimated ``strings`` series can never
+    be mistaken for exact ones.
     """
     cells = []
     for cell in result.cells:
-        cells.append(
-            {
-                "peers": cell.n_peers,
-                "wall_seconds": round(cell.wall_seconds, 4),
-                "total_entries": cell.total_entries,
-                "stored_payload_bytes": cell.stored_payload_bytes,
-                "strategies": {
-                    strategy.value: {
-                        "messages": cell.messages(strategy),
-                        "megabytes": round(cell.megabytes(strategy), 6),
-                    }
-                    for strategy in strategies
-                },
-            }
-        )
+        cell_dict = {
+            "peers": cell.n_peers,
+            "wall_seconds": round(cell.wall_seconds, 4),
+            "build_seconds": round(cell.build_seconds, 4),
+            "total_entries": cell.total_entries,
+            "stored_payload_bytes": cell.stored_payload_bytes,
+            "strategies": {
+                strategy.value: {
+                    "messages": cell.messages(strategy),
+                    "megabytes": round(cell.megabytes(strategy), 6),
+                }
+                for strategy in strategies
+            },
+        }
+        if cell.naive_sample_rate:
+            cell_dict["naive_sampled"] = True
+        cells.append(cell_dict)
     return {"dataset": result.dataset, "cells": cells}
 
 

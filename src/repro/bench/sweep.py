@@ -3,6 +3,16 @@
 A sweep runs one experiment cell per peer count and collects, for every
 strategy, the two series the paper plots: total messages and total data
 volume of the whole workload.
+
+Sweeps run on the incremental engine: one
+:class:`~repro.overlay.incremental.IncrementalNetworkBuilder` (derived
+from the sweep's shared :class:`~repro.bench.experiment.PreparedDataset`)
+grows each cell's network from the trie-derivation state of the previous
+cells instead of rebuilding from scratch, and each cell's workload runs
+with whole-workload naive-broadcast memoization.  Both are equivalence-
+preserving — measured message/byte series are bit-identical to a
+from-scratch, unmemoized run — and ``REPRO_SWEEP_CHECK=1`` (or
+``check_equivalence=True``) asserts the network equivalence per cell.
 """
 
 from __future__ import annotations
@@ -30,10 +40,19 @@ PAPER_PEER_COUNTS = (100, 1_000, 10_000, 100_000)
 #: Environment variable that switches benchmarks to paper scale.
 FULL_SCALE_ENV = "REPRO_FULL_SCALE"
 
+#: Environment variable that turns on the per-cell incremental-vs-scratch
+#: equivalence check (slow; the sweep engine's paranoia mode).
+SWEEP_CHECK_ENV = "REPRO_SWEEP_CHECK"
+
 
 def full_scale() -> bool:
     """True when the environment requests paper-scale runs."""
     return os.environ.get(FULL_SCALE_ENV, "") not in ("", "0", "false")
+
+
+def sweep_check() -> bool:
+    """True when the environment requests incremental equivalence checks."""
+    return os.environ.get(SWEEP_CHECK_ENV, "") not in ("", "0", "false")
 
 
 @dataclass
@@ -63,16 +82,33 @@ def sweep(
     repetitions: int = 40,
     strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
     progress: Callable[[str], None] | None = None,
+    check_equivalence: bool | None = None,
+    memoize_naive: bool = True,
+    memoize_gram_scans: bool = True,
+    share_verifiers: bool = True,
+    naive_sample_rate: float = 0.0,
 ) -> SweepResult:
     """Run the strategy comparison across peer counts.
 
     Entry derivation and the data-aware trie sample happen once, up
-    front (:class:`PreparedDataset`); each cell only re-places the
-    prepared entries onto its own trie.
+    front (:class:`PreparedDataset`); each cell's network is then grown
+    by one shared incremental builder, and each cell's workload runs
+    with the three cost-transparent accelerations (naive region memo,
+    gram-scan memo, shared verifier pool) — each individually
+    disableable so an acceleration can be validated against its own
+    unaccelerated baseline.  ``check_equivalence`` (default: the
+    ``REPRO_SWEEP_CHECK`` environment variable) re-builds every cell
+    from scratch and asserts the incremental network is identical.
+    ``naive_sample_rate`` > 0 opts into the sampled-broadcast estimator
+    for the naive strategy (approximate series, flagged in the JSON);
+    the default keeps every series exact.
     """
     result = SweepResult(dataset=dataset)
     config = config if config is not None else StoreConfig()
     prepared = PreparedDataset.prepare(triples, config)
+    if check_equivalence is None:
+        check_equivalence = sweep_check()
+    builder = prepared.make_builder(check_equivalence=check_equivalence)
     for n_peers in peer_counts:
         if progress is not None:
             progress(f"{dataset}: {n_peers} peers ...")
@@ -85,11 +121,19 @@ def sweep(
             repetitions=repetitions,
             strategies=strategies,
             prepared=prepared,
+            builder=builder,
+            memoize_naive=memoize_naive,
+            memoize_gram_scans=memoize_gram_scans,
+            share_verifiers=share_verifiers,
+            naive_sample_rate=naive_sample_rate,
         )
         result.cells.append(cell)
         if progress is not None:
             parts = ", ".join(
                 f"{s.value}={cell.messages(s)}" for s in strategies
             )
-            progress(f"{dataset}: {n_peers} peers -> messages: {parts}")
+            progress(
+                f"{dataset}: {n_peers} peers -> messages: {parts} "
+                f"(build {cell.build_seconds:.1f}s)"
+            )
     return result

@@ -7,6 +7,11 @@ from repro.overlay.hashing import (
     OrderPreservingStringHash,
     uniform_key,
 )
+from repro.overlay.incremental import (
+    BuildReport,
+    IncrementalNetworkBuilder,
+    assert_networks_equivalent,
+)
 from repro.overlay.messages import CostReport, MessageTracer, MessageType
 from repro.overlay.network import PGridNetwork
 from repro.overlay.peer import Peer
@@ -14,10 +19,13 @@ from repro.overlay.range_query import RangeQueryResult, range_query
 from repro.overlay.routing import Partition, Router
 
 __all__ = [
+    "BuildReport",
     "ChurnController",
     "ChurnReport",
     "CompositeKeyCodec",
     "CostReport",
+    "IncrementalNetworkBuilder",
+    "assert_networks_equivalent",
     "MessageTracer",
     "MessageType",
     "NumericKeyCodec",

@@ -1,0 +1,192 @@
+"""Incremental network construction across a sweep's peer counts.
+
+A Figure-1 sweep builds one :class:`~repro.overlay.network.PGridNetwork`
+per peer count over the *same* dataset.  PR 1 hoisted the per-dataset
+work (entry derivation, the data-aware trie sample) into
+:class:`~repro.bench.experiment.PreparedDataset`; this module hoists the
+per-*sweep* work: an :class:`IncrementalNetworkBuilder` grows each cell's
+network from the state accumulated by the previous cells instead of
+rebuilding everything from scratch.
+
+What is actually carried forward — and why the result is still
+bit-identical to a from-scratch build:
+
+* **Trie split counts.**  The data-aware trie allocates peers to the two
+  halves of every split proportionally to the sample keys falling into
+  each half.  Those per-prefix counts depend only on the (fixed) sample,
+  not on the partition count, so the builder shares one count cache
+  across all cells: cell ``i+1`` re-derives its trie from the splits
+  cells ``1..i`` already measured, touching the sorted sample only for
+  prefixes no earlier cell reached.  Cached or not, the counts are equal,
+  so the derived paths are equal.
+* **Prepared entries.**  The sorted entry list is placed onto each cell's
+  trie with the single merge walk of
+  :meth:`~repro.overlay.network.PGridNetwork.place_entries` (PR 1).
+* **Routing-table spans.**  Routing references are drawn directly from
+  bisected partition-index spans
+  (:meth:`~repro.overlay.network.PGridNetwork._build_routing_tables`),
+  consuming the RNG draw-for-draw like the retained scan reference — the
+  construction is cheaper, not different.
+
+Because the routing references are sampled from a seeded RNG whose draw
+sequence depends on every peer's path, a *structurally* grown network
+(mutating the previous cell's peers in place) could not reproduce the
+from-scratch tables bit-for-bit; the builder therefore grows the cheap
+derived state (counts, entries) and keeps construction itself exactly
+equivalent.  ``check_equivalence=True`` (or ``REPRO_SWEEP_CHECK=1`` via
+the bench harness) re-builds every cell from scratch with the reference
+scan construction and asserts full structural equality — trie, peers,
+replicas, routing tables, stores.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import StoreConfig
+from repro.core.errors import OverlayError
+from repro.overlay.network import PGridNetwork
+from repro.storage.indexing import IndexEntry
+
+
+@dataclass
+class BuildReport:
+    """Timings and reuse statistics for one incremental build."""
+
+    n_peers: int
+    #: Wall-clock seconds for trie + peers + routing tables.
+    construct_seconds: float
+    #: Wall-clock seconds for placing the prepared entries.
+    place_seconds: float
+    #: Trie split counts already cached before this build started.
+    trie_counts_reused: int
+    #: Split counts the build added to the shared cache.
+    trie_counts_added: int
+    #: Seconds the optional from-scratch equivalence check took (0 = off).
+    check_seconds: float = 0.0
+
+    @property
+    def build_seconds(self) -> float:
+        """Total network-build seconds (excluding the equivalence check)."""
+        return self.construct_seconds + self.place_seconds
+
+
+class IncrementalNetworkBuilder:
+    """Build a dataset's networks for increasing peer counts, reusing state.
+
+    One builder serves one ``(config, entries, sample_keys)`` triple —
+    typically one sweep.  ``entries`` must be sorted by key (the
+    :class:`~repro.bench.experiment.PreparedDataset` contract); the
+    builder may be called with peer counts in any order, though sweeps
+    use increasing ones.
+
+    With ``check_equivalence=True`` every :meth:`build` additionally
+    constructs a from-scratch reference network — no shared trie cache,
+    routing tables rebuilt with the materializing scan reference — and
+    asserts the two are structurally identical via
+    :func:`assert_networks_equivalent`.
+    """
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        entries: Sequence[IndexEntry],
+        sample_keys: Sequence[str] | None = None,
+        check_equivalence: bool = False,
+    ):
+        self.config = config
+        self.entries = entries
+        self.sample_keys = sample_keys
+        self.check_equivalence = check_equivalence
+        self._trie_counts: dict[str, int] = {}
+        #: One :class:`BuildReport` per :meth:`build` call, in call order.
+        self.reports: list[BuildReport] = []
+
+    def build(self, n_peers: int) -> PGridNetwork:
+        """A load-balanced network of ``n_peers`` holding the dataset."""
+        reused = len(self._trie_counts)
+        started = time.perf_counter()
+        network = PGridNetwork(
+            n_peers,
+            self.config,
+            sample_keys=self.sample_keys,
+            trie_count_cache=self._trie_counts,
+        )
+        constructed = time.perf_counter()
+        network.place_entries(self.entries)
+        placed = time.perf_counter()
+        report = BuildReport(
+            n_peers=n_peers,
+            construct_seconds=constructed - started,
+            place_seconds=placed - constructed,
+            trie_counts_reused=reused,
+            trie_counts_added=len(self._trie_counts) - reused,
+        )
+        if self.check_equivalence:
+            reference = self._reference_build(n_peers)
+            assert_networks_equivalent(network, reference)
+            report.check_seconds = time.perf_counter() - placed
+        self.reports.append(report)
+        return network
+
+    def _reference_build(self, n_peers: int) -> PGridNetwork:
+        """From-scratch network: no shared cache, scan-built routing."""
+        network = PGridNetwork(
+            n_peers, self.config, sample_keys=self.sample_keys
+        )
+        network.rng = random.Random(self.config.seed)
+        network._build_routing_tables_scan()
+        network.place_entries(self.entries)
+        return network
+
+    @property
+    def last_report(self) -> BuildReport | None:
+        return self.reports[-1] if self.reports else None
+
+
+def assert_networks_equivalent(a: PGridNetwork, b: PGridNetwork) -> None:
+    """Assert two networks are structurally identical.
+
+    Compares the trie cover, every partition's replica set, every peer's
+    path, replicas and full routing table, and every peer store's entry
+    keys.  Raises :class:`OverlayError` naming the first divergence —
+    the incremental sweep engine's safety net.
+    """
+    if a._paths != b._paths:
+        raise OverlayError(
+            f"trie covers differ: {len(a._paths)} vs {len(b._paths)} "
+            "partitions or different split boundaries"
+        )
+    if a.n_peers != b.n_peers:
+        raise OverlayError(f"peer counts differ: {a.n_peers} vs {b.n_peers}")
+    for pa, pb in zip(a.partitions, b.partitions):
+        if pa.path != pb.path or pa.peer_ids != pb.peer_ids:
+            raise OverlayError(
+                f"partition {pa.index} differs: "
+                f"{pa.path!r}/{pa.peer_ids} vs {pb.path!r}/{pb.peer_ids}"
+            )
+    for peer_a, peer_b in zip(a.peers, b.peers):
+        if peer_a.path != peer_b.path:
+            raise OverlayError(
+                f"peer {peer_a.peer_id} paths differ: "
+                f"{peer_a.path!r} vs {peer_b.path!r}"
+            )
+        if peer_a.replicas != peer_b.replicas:
+            raise OverlayError(
+                f"peer {peer_a.peer_id} replica sets differ"
+            )
+        if peer_a.routing_table != peer_b.routing_table:
+            raise OverlayError(
+                f"peer {peer_a.peer_id} routing tables differ: "
+                f"{peer_a.routing_table} vs {peer_b.routing_table}"
+            )
+        keys_a = [entry.key for entry in peer_a.store]
+        keys_b = [entry.key for entry in peer_b.store]
+        if keys_a != keys_b:
+            raise OverlayError(
+                f"peer {peer_a.peer_id} stores differ: "
+                f"{len(keys_a)} vs {len(keys_b)} entries"
+            )

@@ -97,6 +97,33 @@ class MessageTracer:
         if self.record_log:
             self.log.append(Message(type, sender, receiver, payload_bytes, phase))
 
+    def send_bulk(
+        self,
+        type: MessageType,
+        count: int,
+        payload_bytes: int = 0,
+        phase: str = "query",
+    ) -> None:
+        """Account for ``count`` messages totalling ``payload_bytes`` at once.
+
+        O(1) accounting for flows whose per-message loop is itself the
+        cost being avoided — the sampled naive-broadcast estimator charges
+        its extrapolated message counts here instead of iterating 10⁵
+        peers.  Bulk charges are *not* appended to the verbose
+        ``record_log`` (there are no per-message sender/receiver pairs to
+        record); counters and per-phase totals update exactly as ``count``
+        individual :meth:`send` calls would.
+        """
+        if count < 0:
+            raise ValueError(f"bulk message count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.message_count += count
+        self.payload_bytes += payload_bytes
+        self.counts_by_type[type.value] += count
+        self.counts_by_phase[phase] += count
+        self.bytes_by_phase[phase] += payload_bytes
+
     def snapshot(self) -> TraceSnapshot:
         """Copy of the current counters."""
         return TraceSnapshot(

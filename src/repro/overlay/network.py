@@ -41,6 +41,7 @@ class PGridNetwork:
         config: StoreConfig | None = None,
         sample_keys: Sequence[str] | None = None,
         tracer: MessageTracer | None = None,
+        trie_count_cache: dict[str, int] | None = None,
     ):
         """Build a network of ``n_peers``.
 
@@ -48,6 +49,12 @@ class PGridNetwork:
         the data you are about to insert (or a sample of them) to get
         P-Grid-style load balancing.  Omitting it — or selecting
         ``TrieBalancing.UNIFORM`` — produces an evenly split trie.
+
+        ``trie_count_cache`` memoizes the data-aware builder's per-prefix
+        sample counts across networks built over the *same*
+        ``sample_keys`` (see :func:`repro.overlay.trie.data_aware_paths`);
+        sweeps pass one shared cache so each cell's trie derivation reuses
+        the previous cells' splits.
         """
         if n_peers < 1:
             raise OverlayError(f"need at least one peer, got {n_peers}")
@@ -61,7 +68,10 @@ class PGridNetwork:
         n_partitions = max(1, n_peers // k)
         if self.config.balancing is TrieBalancing.DATA_AWARE and sample_keys:
             paths = trie.data_aware_paths(
-                n_partitions, sample_keys, self.config.key_bits
+                n_partitions,
+                sample_keys,
+                self.config.key_bits,
+                count_cache=trie_count_cache,
             )
         else:
             paths = trie.uniform_paths(n_partitions)
@@ -94,12 +104,56 @@ class PGridNetwork:
     # -- construction ---------------------------------------------------------
 
     def _build_routing_tables(self) -> None:
-        """Wire ``refs_per_level`` random references per peer and level."""
+        """Wire ``refs_per_level`` random references per peer and level.
+
+        Candidate partitions under a sibling prefix form a contiguous run
+        of the sorted path list, so each reference is drawn directly from
+        the bisected index span — O(log P) per level instead of
+        materializing the whole complementary subtrie (O(P) at the top
+        level, which made construction O(N·P) and dominated per-cell
+        rebuild cost in sweeps).  The RNG consumption is draw-for-draw
+        identical to :meth:`_build_routing_tables_scan`, the retained
+        reference implementation, so the resulting tables — and therefore
+        every measured message series — are bit-identical (pinned by
+        equivalence tests).
+        """
+        refs_per_level = self.config.refs_per_level
+        rng = self.rng
+        partitions = self.partitions
+        for peer in self.peers:
+            path = peer.path
+            for level in range(len(path)):
+                sibling = keyspace.sibling_prefix(path, level)
+                lo, hi = self._partition_span(sibling)
+                count = hi - lo
+                if count <= 0:
+                    raise OverlayError(
+                        f"complementary subtrie {sibling!r} is empty — "
+                        "the trie cover is broken"
+                    )
+                refs: list[int] = []
+                for __ in range(min(refs_per_level, count)):
+                    partition = partitions[lo + rng.randrange(count)]
+                    replica = partition.peer_ids[
+                        rng.randrange(len(partition.peer_ids))
+                    ]
+                    refs.append(replica)
+                peer.set_references(level, refs)
+
+    def _build_routing_tables_scan(self) -> None:
+        """Reference routing construction: materialized candidate lists.
+
+        The original O(N·P) implementation, kept — like the datastore's
+        ``lookup_scan`` — so tests can assert the fast span-sampling
+        construction produces identical tables from an identical RNG
+        state.  To rebuild with it, reset ``self.rng`` to
+        ``random.Random(config.seed)`` first.
+        """
         refs_per_level = self.config.refs_per_level
         for peer in self.peers:
             for level in range(len(peer.path)):
                 sibling = keyspace.sibling_prefix(peer.path, level)
-                candidates = self._partition_range(sibling)
+                candidates = self._partition_range_scan(sibling)
                 if not candidates:
                     raise OverlayError(
                         f"complementary subtrie {sibling!r} is empty — "
@@ -148,8 +202,38 @@ class PGridNetwork:
                 result.append(partition)
         return result
 
+    def _partition_span(self, prefix: str) -> tuple[int, int]:
+        """Index range ``[lo, hi)`` of the partitions covered by ``prefix``.
+
+        Paths are sorted and prefix-free, so every path extending
+        ``prefix`` sits in one contiguous run bounded by ``prefix`` and
+        its binary successor.  An empty run whose left neighbour *covers*
+        the prefix (the prefix is inside a single coarser partition)
+        yields that neighbour as a one-element span.
+        """
+        paths = self._paths
+        lo = bisect.bisect_left(paths, prefix)
+        # Binary successor: strip trailing '1's, flip the final '0'.
+        stripped = prefix.rstrip("1")
+        if stripped:
+            hi = bisect.bisect_left(paths, stripped[:-1] + "1")
+        else:
+            hi = len(paths)
+        if lo == hi and lo > 0 and prefix.startswith(paths[lo - 1]):
+            return lo - 1, lo
+        return lo, hi
+
     def _partition_range(self, prefix: str) -> list[Partition]:
-        """Partitions covered by ``prefix`` via bisection on sorted paths."""
+        """Partitions covered by ``prefix`` (contiguous span of the cover)."""
+        lo, hi = self._partition_span(prefix)
+        return self.partitions[lo:hi]
+
+    def _partition_range_scan(self, prefix: str) -> list[Partition]:
+        """Reference implementation of :meth:`_partition_range`.
+
+        Linear startswith scan from the bisection point; kept so property
+        tests can pin span == scan on arbitrary tries.
+        """
         lo = bisect.bisect_left(self._paths, prefix)
         result: list[Partition] = []
         index = lo

@@ -113,12 +113,40 @@ class Router:
         the subtrie, then exactly one ``FORWARD`` message per additional
         partition — dissemination reuses the trie's internal references,
         so no partition is contacted twice.
+
+        When the tracer keeps no verbose log, the forwards are
+        bulk-charged (identical counters) and unreplicated partitions
+        skip the replica shuffle — ``random.shuffle`` of a one-element
+        list consumes no RNG draws, so the fast path's draw sequence is
+        identical to the logged path's.  Naive broadcasts at paper scale
+        touch every partition per query; this loop is their floor.
         """
-        partitions = self.network.partitions_under(prefix)
+        network = self.network
+        partitions = network.partitions_under(prefix)
         if not partitions:
             raise RoutingError(f"no partition under prefix {prefix!r}")
         first = self.route(partitions[0].path, start_id, phase=phase)
         contacted = [first]
+        if not self.tracer.record_log:
+            peers = network.peers
+            first_id = first.peer_id
+            for partition in partitions:
+                peer_ids = partition.peer_ids
+                if first_id in peer_ids:
+                    continue
+                if len(peer_ids) == 1:
+                    replica = peers[peer_ids[0]]
+                    if not replica.online:
+                        raise PartitionUnreachableError(
+                            f"partition {partition.path!r} has no online replica"
+                        )
+                else:
+                    replica = self._live_replica(partition)
+                contacted.append(replica)
+            self.tracer.send_bulk(
+                MessageType.FORWARD, len(contacted) - 1, 0, phase=phase
+            )
+            return contacted
         for partition in partitions:
             if partition.contains(first.peer_id):
                 continue

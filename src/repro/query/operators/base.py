@@ -24,14 +24,20 @@ import random
 from collections import defaultdict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.core.errors import ExecutionError
 from repro.overlay.network import PGridNetwork
 from repro.overlay.routing import Router
 from repro.similarity.filters import FilterConfig
+from repro.similarity.verify import VerifierPool
 from repro.storage.indexing import EntryKind
 from repro.storage.triple import Triple, ValueType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.operators.naive import NaiveWorkloadMemo
+    from repro.query.operators.similar import GramScanMemo
 
 #: Baseline size in bytes of a delegated query description (search string,
 #: attribute, distance, query id).  Added to delegation payloads.
@@ -76,6 +82,24 @@ class OperatorContext:
     strategy: SimilarityStrategy | None = None
     filters: FilterConfig = field(default_factory=FilterConfig)
     rng: random.Random | None = None
+    #: Whole-workload memo for the naive broadcast strategy (see
+    #: :class:`repro.query.operators.naive.NaiveWorkloadMemo`).  ``None``
+    #: disables memoization; message accounting is identical either way.
+    naive_memo: "NaiveWorkloadMemo | None" = None
+    #: Opt-in sampled-broadcast estimator rate for naive queries: 0 (the
+    #: default) runs the exact broadcast; a rate in (0, 1) scans only
+    #: ~``rate`` of the region's partitions and extrapolates the cost.
+    naive_sample_rate: float = 0.0
+    #: Shared verifier pool: operators that build their own
+    #: :class:`~repro.similarity.verify.BatchVerifier` draw it from here
+    #: instead, so repeated ``(query, d)`` pairs across queries — and
+    #: across a benchmark cell's strategy replays — share one DP memo.
+    #: Verification is deterministic, so sharing never changes results.
+    verifier_pool: VerifierPool | None = None
+    #: Whole-workload memo for gram-peer candidate scans (see
+    #: :class:`repro.query.operators.similar.GramScanMemo`).  ``None``
+    #: disables it; like ``naive_memo``, valid only over static stores.
+    gram_scan_memo: "GramScanMemo | None" = None
 
     def __post_init__(self) -> None:
         if self.strategy is None:

@@ -17,11 +17,37 @@ Figure 1 shows for the ``strings`` curves.  After local comparison, the
 matching peers return ``(oid, value)`` pairs and the initiator batch-
 fetches the complete objects, so the final result is identical in shape
 to the q-gram strategies'.
+
+Two sweep-scale accelerations live here, both cost-transparent by
+construction:
+
+* :class:`NaiveWorkloadMemo` — whole-workload memoization.  A workload
+  replays the same ``(s, a, d)`` query many times (repeated search
+  strings, iterative-deepening top-N rounds, join probes over equal
+  values); the *local comparison outcome* of such a query depends only on
+  the stored data, which is identical across a partition's replicas and
+  constant during a benchmark cell.  The memo caches that outcome per
+  partition and replays it, while the broadcast itself — routed entry,
+  shower forwards, per-peer query copies, result returns — is still
+  executed and charged for real, so the measured message and byte series
+  are bit-identical with the memo on or off (pinned by tests).
+* the **sampled-broadcast estimator** (``naive_sample_rate`` on the
+  operator context) — opt-in, for paper-scale cells where even *touching*
+  10⁵ peers per query dominates.  The structural broadcast cost (routed
+  entry, one forward per further partition, one query copy per region
+  peer) is charged exactly in O(1) bulk; local comparison runs on a
+  deterministic stride sample of the region's partitions and the
+  result-return / object-fetch cost is extrapolated from the sample.
+  With the rate at 0 (the default) the estimator is bypassed entirely
+  and no RNG draw or message differs from the exact path.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.errors import ExecutionError
+from repro.overlay.messages import MessageType
 from repro.query.operators.base import (
     QUERY_HEADER_BYTES,
     MatchedObject,
@@ -30,6 +56,104 @@ from repro.query.operators.base import (
 from repro.query.operators.similar import SimilarResult
 from repro.similarity.verify import BatchVerifier
 from repro.storage.indexing import EntryKind
+
+
+@dataclass(frozen=True)
+class RegionComparison:
+    """The data-dependent outcome of one naive region's local comparisons.
+
+    Everything here is a function of ``(s, attribute)``, the band, and
+    the stored data only — independent of the initiating peer, of which
+    replica of a partition was contacted, and of every RNG draw — which
+    is exactly what makes it safely memoizable across a workload.
+
+    ``by_partition`` keeps every compared string whose edit distance to
+    ``s`` is at most ``band``; the matches for any query distance
+    ``d <= band`` are the entries with ``distance <= d``.  Banded DP
+    distances are exact within the band, so the filtered view is
+    bit-identical to a dedicated ``BatchVerifier(s, d)`` pass.
+    """
+
+    #: Largest distance the stored entries are complete and exact for.
+    band: int
+    #: partition index -> ((oid, value, distance <= band), ...) in store order.
+    by_partition: dict[int, tuple[tuple[str, str, int], ...]]
+    #: Total strings compared across the region (``candidates_verified``).
+    local_comparisons: int
+    #: Largest number of comparisons any single peer performed.
+    max_peer_comparisons: int
+    #: partition index -> store mutation counter of the scanned replica.
+    #: Replayed only while the contacted replicas still report these
+    #: versions; any mismatch invalidates the cache entry.
+    store_versions: dict[int, int]
+
+    def matched_at(self, partition_index: int, d: int) -> list[tuple[str, str, int]]:
+        """One partition's matches for a query distance ``d <= band``."""
+        entries = self.by_partition.get(partition_index)
+        if not entries:
+            return []
+        if d >= self.band:
+            return list(entries)
+        return [entry for entry in entries if entry[2] <= d]
+
+
+class NaiveWorkloadMemo:
+    """Whole-workload memo of naive-broadcast comparison outcomes.
+
+    Keyed by ``(s, attribute)`` (plus the sampling stride when the
+    estimator is active): one region comparison at ``band =
+    max(d, band)`` serves *every* distance up to the band, so a top-N
+    query's iterative-deepening rounds (``d = 0, 1, 2, ...`` over the
+    same search string) and a join's repeated probes all reuse a single
+    region scan.  The default band matches the workload's maximum top-N
+    radius.
+
+    Valid only while the network's stores are unchanged — benchmark
+    cells satisfy this (bulk load, then a read-only workload) — and the
+    contract is *enforced*: every cached outcome records the scanned
+    stores' mutation counters (:attr:`LocalDataStore.version
+    <repro.storage.datastore.LocalDataStore>`), and a replay whose
+    contacted replicas report any other version recomputes instead of
+    answering stale.  Replicas of a partition hold identical data, so
+    outcomes are cached per *partition*, making hits independent of
+    which replica a broadcast happens to contact.
+    """
+
+    #: Default distance band (the workload's ``TOP_N_MAX_DISTANCE``).
+    DEFAULT_BAND = 5
+
+    def __init__(self, network, band: int = DEFAULT_BAND):
+        self.network = network
+        self.band = band
+        self._cache: dict[tuple, RegionComparison] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, key: tuple, d: int, contacted: list) -> RegionComparison | None:
+        """A cached comparison valid for ``d`` and the contacted peers."""
+        comparison = self._cache.get(key)
+        if comparison is None or comparison.band < d:
+            return None
+        versions = comparison.store_versions
+        for peer, partition_index in contacted:
+            if versions.get(partition_index) != peer.store.version:
+                del self._cache[key]
+                self.invalidations += 1
+                return None
+        self.hits += 1
+        return comparison
+
+    def store(self, key: tuple, comparison: RegionComparison) -> None:
+        self.misses += 1
+        self._cache[key] = comparison
+
+    def clear(self) -> None:
+        """Drop all cached outcomes (call after any data mutation)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 def naive_similar(
@@ -45,35 +169,147 @@ def naive_similar(
         raise ExecutionError(f"similarity distance must be >= 0, got {d}")
     if initiator_id is None:
         initiator_id = ctx.random_initiator()
-    if verifier is None:
-        verifier = BatchVerifier(s, d)
     schema_level = attribute == ""
 
-    # Broadcast the query into the region holding the compared strings.
+    # The region holding the compared strings.
     if schema_level:
         region_prefix = ""  # attribute names occur everywhere
     else:
         region_prefix = ctx.codec.attr_prefix(attribute)
+
+    rate = ctx.naive_sample_rate
+    if 0.0 < rate < 1.0:
+        return _sampled_naive_similar(
+            ctx, s, attribute, d, initiator_id, verifier, region_prefix,
+            schema_level, rate,
+        )
+
+    # Broadcast the query into the region (routed entry + shower forwards).
+    tracer = ctx.router.tracer
     peers = ctx.router.multicast_prefix(
         region_prefix, initiator_id, phase="broadcast"
     )
     # The query string travels with every broadcast message; charge its
     # size once per contacted peer on top of the multicast accounting.
-    for peer in peers:
-        ctx.router.send_broadcast(
-            initiator_id, peer.peer_id, QUERY_HEADER_BYTES + len(s), phase="broadcast"
+    if tracer.record_log:
+        for peer in peers:
+            ctx.router.send_broadcast(
+                initiator_id, peer.peer_id, QUERY_HEADER_BYTES + len(s),
+                phase="broadcast",
+            )
+    else:
+        tracer.send_bulk(
+            MessageType.BROADCAST,
+            len(peers),
+            len(peers) * (QUERY_HEADER_BYTES + len(s)),
+            phase="broadcast",
         )
 
-    # Local comparison at every contacted peer.  The kind view narrows the
-    # scan to ``ATTR_VALUE`` entries (each value compared exactly once) —
-    # instance level additionally bisects to the attribute's key region —
-    # and the batched verifier shares DP work across every repeated value.
-    result = SimilarResult(matches=[])
+    contacted = _with_partition_indices(ctx, peers, region_prefix)
+
+    # Local comparison at every contacted peer — computed once per
+    # (s, a) region when a workload memo is installed (at the memo's
+    # band, so every later distance replays it), recomputed otherwise.
+    memo = ctx.naive_memo
+    memo_key = (s, attribute)
+    comparison = (
+        memo.lookup(memo_key, d, contacted) if memo is not None else None
+    )
+    if comparison is None:
+        band = max(d, memo.band) if memo is not None else d
+        comparison = _compare_region(
+            contacted, s, attribute, band, schema_level, region_prefix,
+            _region_verifier(ctx, s, d, band, verifier),
+        )
+        if memo is not None:
+            memo.store(memo_key, comparison)
+
+    # Matching peers return their (oid, value) pairs to the initiator.
     hits: dict[str, tuple[int, str]] = {}
+    for peer, partition_index in contacted:
+        matched_here = comparison.matched_at(partition_index, d)
+        if not matched_here:
+            continue
+        payload = sum(len(oid) + len(value) + 2 for oid, value, __ in matched_here)
+        ctx.router.send_result(
+            peer.peer_id, initiator_id, payload, phase="broadcast"
+        )
+        for oid, value, distance in matched_here:
+            previous = hits.get(oid)
+            if previous is None or distance < previous[0]:
+                hits[oid] = (distance, value)
+
+    result = _assemble_result(ctx, hits, initiator_id, comparison)
+    result.extras["region_peers"] = len(peers)
+    return result
+
+
+def _with_partition_indices(ctx, peers, region_prefix: str) -> list:
+    """Pair each contacted peer with its partition's index.
+
+    ``multicast_prefix`` contacts exactly one replica per partition, in
+    partition order, so the contacted list aligns with
+    ``partitions_under(region_prefix)`` — an O(P) zip instead of one
+    oracle bisection per peer.  Falls back to per-peer lookups if the
+    alignment assumption ever breaks (defensive; it cannot under the
+    current shower dissemination).
+    """
+    partitions = ctx.network.partitions_under(region_prefix)
+    if len(partitions) == len(peers):
+        return [
+            (peer, partition.index)
+            for peer, partition in zip(peers, partitions)
+        ]
+    partition_for = ctx.network.partition_for
+    return [(peer, partition_for(peer.path).index) for peer in peers]
+
+
+def _region_verifier(
+    ctx: OperatorContext,
+    s: str,
+    d: int,
+    band: int,
+    verifier: BatchVerifier | None,
+) -> BatchVerifier | None:
+    """The verifier a region comparison should use.
+
+    A caller-supplied verifier is only valid at its own distance; banded
+    memo computes draw a ``(s, band)`` verifier from the context's shared
+    pool when one is installed, and let ``_compare_region`` build a fresh
+    one otherwise.
+    """
+    if band == d and verifier is not None:
+        return verifier
+    if ctx.verifier_pool is not None:
+        return ctx.verifier_pool.get(s, band)
+    return None
+
+
+def _compare_region(
+    contacted: list,
+    s: str,
+    attribute: str,
+    band: int,
+    schema_level: bool,
+    region_prefix: str,
+    verifier: BatchVerifier | None,
+) -> RegionComparison:
+    """Compare ``s`` against every contacted peer's local strings.
+
+    The kind view narrows each scan to ``ATTR_VALUE`` entries (each value
+    compared exactly once) — instance level additionally bisects to the
+    attribute's key region — and one region-wide pass through the batched
+    verifier shares DP work across every repeated value.  ``verifier``,
+    when given, must have been built for ``(s, band)``.
+    """
+    if verifier is None:
+        verifier = BatchVerifier(s, band)
+    compared_by_partition: list[tuple[int, list[tuple[str, str]]]] = []
+    store_versions: dict[int, int] = {}
     local_comparisons = 0
     max_peer_comparisons = 0
-    for peer in peers:
-        matched_here: list[tuple[str, str, int]] = []
+    for peer, partition_index in contacted:
+        store_versions[partition_index] = peer.store.version
         compared: list[tuple[str, str]] = []
         local_entries = (
             peer.store.entries_of_kind(EntryKind.ATTR_VALUE)
@@ -88,23 +324,38 @@ def naive_similar(
                 continue
             compared.append((entry.triple.oid, candidate))
         local_comparisons += len(compared)
-        distances = verifier.distances(candidate for __, candidate in compared)
-        for oid, candidate in compared:
-            distance = distances[candidate]
-            if distance <= d:
-                matched_here.append((oid, candidate, distance))
         max_peer_comparisons = max(max_peer_comparisons, len(compared))
+        compared_by_partition.append((partition_index, compared))
+    distances = verifier.distances(
+        candidate
+        for __, compared in compared_by_partition
+        for __oid, candidate in compared
+    )
+    by_partition: dict[int, tuple[tuple[str, str, int], ...]] = {}
+    for partition_index, compared in compared_by_partition:
+        matched_here = tuple(
+            (oid, candidate, distances[candidate])
+            for oid, candidate in compared
+            if distances[candidate] <= band
+        )
         if matched_here:
-            payload = sum(len(oid) + len(value) + 2 for oid, value, __ in matched_here)
-            ctx.router.send_result(
-                peer.peer_id, initiator_id, payload, phase="broadcast"
-            )
-            for oid, value, distance in matched_here:
-                previous = hits.get(oid)
-                if previous is None or distance < previous[0]:
-                    hits[oid] = (distance, value)
+            by_partition[partition_index] = matched_here
+    return RegionComparison(
+        band=band,
+        by_partition=by_partition,
+        local_comparisons=local_comparisons,
+        max_peer_comparisons=max_peer_comparisons,
+        store_versions=store_versions,
+    )
 
-    # The initiator reconstructs complete objects in one batched pass.
+
+def _assemble_result(
+    ctx: OperatorContext,
+    hits: dict[str, tuple[int, str]],
+    initiator_id: int,
+    comparison: RegionComparison,
+) -> SimilarResult:
+    """Batch-fetch complete objects and build the final result."""
     objects = ctx.fetch_objects(
         hits.keys(),
         delegating_peer_id=initiator_id,
@@ -119,11 +370,126 @@ def naive_similar(
         matches.append(
             MatchedObject(oid=oid, matched=value, distance=distance, triples=triples)
         )
-    result.matches = sorted(matches, key=lambda m: (m.distance, m.oid))
+    result = SimilarResult(matches=sorted(matches, key=lambda m: (m.distance, m.oid)))
     result.candidates_after_filters = len(hits)
-    result.candidates_verified = local_comparisons
-    result.extras["region_peers"] = len(peers)
-    result.extras["max_peer_comparisons"] = max_peer_comparisons
+    result.candidates_verified = comparison.local_comparisons
+    result.extras["max_peer_comparisons"] = comparison.max_peer_comparisons
+    return result
+
+
+def _sampled_naive_similar(
+    ctx: OperatorContext,
+    s: str,
+    attribute: str,
+    d: int,
+    initiator_id: int,
+    verifier: BatchVerifier | None,
+    region_prefix: str,
+    schema_level: bool,
+    rate: float,
+) -> SimilarResult:
+    """Opt-in estimator: sample the region instead of scanning all of it.
+
+    The *structural* broadcast cost is exact and charged in O(1): the
+    routed walk into the region runs for real, then one ``FORWARD`` per
+    additional partition and one query copy per region peer are
+    bulk-charged — these counts are fully determined by the region size.
+    Local comparison runs only on every ``stride``-th partition (first
+    online replica, deterministically — no RNG is consumed beyond the
+    entry walk), and the data-dependent cost — result returns and the
+    initiator's object fetch — is extrapolated from the sample.  Matches
+    returned are those of the sampled partitions only: this mode
+    estimates *cost series*, it does not answer queries exactly.
+    """
+    network = ctx.network
+    tracer = ctx.router.tracer
+    partitions = network.partitions_under(region_prefix)
+    n_region = len(partitions)
+    # Routed entry into the region (real routing, real hops).
+    ctx.router.route(partitions[0].path, initiator_id, phase="broadcast")
+    # Shower dissemination + per-peer query copies, bulk-charged exactly.
+    tracer.send_bulk(MessageType.FORWARD, n_region - 1, 0, phase="broadcast")
+    tracer.send_bulk(
+        MessageType.BROADCAST,
+        n_region,
+        n_region * (QUERY_HEADER_BYTES + len(s)),
+        phase="broadcast",
+    )
+
+    stride = max(1, round(1.0 / rate))
+    sampled: list = []
+    for index in range(0, n_region, stride):
+        partition = partitions[index]
+        for peer_id in partition.peer_ids:
+            peer = network.peer(peer_id)
+            if peer.online:
+                sampled.append((peer, partition.index))
+                break
+    n_sampled = max(1, len(sampled))
+    scale = n_region / n_sampled
+
+    memo = ctx.naive_memo
+    memo_key = (s, attribute, "sampled", stride)
+    comparison = (
+        memo.lookup(memo_key, d, sampled) if memo is not None else None
+    )
+    if comparison is None:
+        band = max(d, memo.band) if memo is not None else d
+        comparison = _compare_region(
+            sampled, s, attribute, band, schema_level, region_prefix,
+            _region_verifier(ctx, s, d, band, verifier),
+        )
+        if memo is not None:
+            memo.store(memo_key, comparison)
+
+    # Result returns, extrapolated from the sampled partitions.
+    hits: dict[str, tuple[int, str]] = {}
+    matched_partitions = 0
+    result_payload = 0
+    for __, partition_index in sampled:
+        matched_here = comparison.matched_at(partition_index, d)
+        if not matched_here:
+            continue
+        matched_partitions += 1
+        result_payload += sum(
+            len(oid) + len(value) + 2 for oid, value, __d in matched_here
+        )
+        for oid, value, distance in matched_here:
+            previous = hits.get(oid)
+            if previous is None or distance < previous[0]:
+                hits[oid] = (distance, value)
+    estimated_results = round(matched_partitions * scale)
+    tracer.send_bulk(
+        MessageType.RESULT,
+        estimated_results,
+        round(result_payload * scale),
+        phase="broadcast",
+    )
+
+    # Object reconstruction: run it for real on the sampled hits, then
+    # extrapolate the measured cost to the unsampled remainder.
+    before = tracer.snapshot()
+    result = _assemble_result(ctx, hits, initiator_id, comparison)
+    delta = before.delta(tracer.snapshot())
+    extra_factor = scale - 1.0
+    if extra_factor > 0 and delta.messages:
+        extra_bytes = round(delta.payload_bytes * extra_factor)
+        for type_name, count in sorted(delta.by_type.items()):
+            if count <= 0:
+                continue
+            extra = round(count * extra_factor)
+            tracer.send_bulk(
+                MessageType(type_name),
+                extra,
+                extra_bytes if type_name == MessageType.RESULT.value else 0,
+                phase="oid_lookup",
+            )
+
+    result.extras["region_peers"] = n_region
+    result.extras["sampled"] = 1
+    result.extras["sampled_partitions"] = len(sampled)
+    result.extras["sample_stride"] = stride
+    result.extras["estimated_result_messages"] = estimated_results
     return result
 
 

@@ -119,8 +119,11 @@ def _probe_right(
     result = SimJoinResult(pairs=[], left_size=len(left))
     cache: dict[str, SimilarResult] = {}
     # Probes for the same left value share one verifier memo even when
-    # whole-probe caching (``cache_values``) is off.
-    verifiers = VerifierPool()
+    # whole-probe caching (``cache_values``) is off; a context-wide pool
+    # extends that sharing across queries.
+    verifiers = (
+        ctx.verifier_pool if ctx.verifier_pool is not None else VerifierPool()
+    )
     for triple in sorted(left, key=lambda t: (t.oid, str(t.value))):
         value = str(triple.value)
         if cache_values and value in cache:

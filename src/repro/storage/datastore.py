@@ -40,12 +40,20 @@ from repro.storage.indexing import EntryKind, IndexEntry
 class LocalDataStore:
     """Sorted key → entries store for one peer."""
 
-    __slots__ = ("_keys", "_entries", "_dirty", "_postings", "_kind_views", "_payload_total")
+    __slots__ = (
+        "_keys", "_entries", "_dirty", "_postings", "_kind_views",
+        "_payload_total", "version",
+    )
 
     def __init__(self) -> None:
         self._keys: list[str] = []
         self._entries: list[IndexEntry] = []
         self._dirty = False
+        #: Mutation counter: bumped by every ``add``/``add_bulk``/``remove``.
+        #: Workload memos snapshot it at compute time and treat any change
+        #: as a cache invalidation, turning the "static stores only"
+        #: contract into an enforced check instead of a convention.
+        self.version = 0
         #: Lazy ``key -> [entries]`` map; ``None`` until first use or after
         #: a bulk mutation invalidated it.
         self._postings: dict[str, list[IndexEntry]] | None = None
@@ -66,6 +74,7 @@ class LocalDataStore:
 
     def add(self, entry: IndexEntry) -> None:
         """Insert one entry, keeping the store sorted."""
+        self.version += 1
         self._ensure_sorted()
         index = bisect.bisect_right(self._keys, entry.key)
         self._keys.insert(index, entry.key)
@@ -95,6 +104,7 @@ class LocalDataStore:
                 added_bytes += entry.payload_size()
             count += 1
         if count:
+            self.version += 1
             self._dirty = True
             self._postings = None
             self._kind_views = None
@@ -108,6 +118,7 @@ class LocalDataStore:
         index = bisect.bisect_left(self._keys, entry.key)
         while index < len(self._keys) and self._keys[index] == entry.key:
             if self._entries[index] == entry:
+                self.version += 1
                 del self._keys[index]
                 del self._entries[index]
                 if self._postings is not None:

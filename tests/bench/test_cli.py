@@ -76,10 +76,13 @@ class TestCli:
         capsys.readouterr()
         assert status == 0
         fig1 = json.loads((tmp_path / "BENCH_fig1.json").read_text())
-        assert fig1["schema"] == "repro-bench-fig1/v1"
+        assert fig1["schema"] == "repro-bench-fig1/v2"
         cells = fig1["datasets"]["bible"]["cells"]
         assert cells[0]["peers"] == 16
         assert cells[0]["total_entries"] > 0
+        assert cells[0]["build_seconds"] >= 0
+        assert "naive_sampled" not in cells[0]  # exact by default
+        assert fig1["scale"]["naive_sample_rate"] == 0.0
         assert set(cells[0]["strategies"]) == {"qsamples", "qgrams", "strings"}
         assert all("messages" in s for s in cells[0]["strategies"].values())
         micro_doc = json.loads((tmp_path / "BENCH_micro.json").read_text())

@@ -1,0 +1,209 @@
+"""Naive-broadcast memoization and the sampled-broadcast estimator.
+
+The memo's contract mirrors the incremental builder's: *cost
+transparency*.  A memoized workload must produce the same matches and
+charge the same messages and bytes — phase by phase, type by type — as
+an unmemoized one; only the local comparison work is skipped.  The
+sampled estimator, by contrast, is openly approximate and must say so in
+its result extras and keep the structural broadcast cost exact.
+"""
+
+import pytest
+
+from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.query.operators.base import OperatorContext
+from repro.query.operators.naive import NaiveWorkloadMemo, naive_similar
+from repro.storage.triple import Triple
+from repro.bench.experiment import run_cell
+from repro.bench.workload import make_workload
+
+from tests.conftest import TEXT_ATTR, build_word_network, word_triples
+
+#: A probe mix with deliberate repeats — the memo's bread and butter.
+PROBES = [
+    ("apple", 1), ("apple", 1), ("apple", 2), ("grape", 1),
+    ("banana", 2), ("apple", 1), ("grape", 1), ("cherry", 3),
+]
+
+
+def run_probes(memo):
+    """Replay PROBES on a fresh network; returns (tracer totals, matches)."""
+    network = build_word_network(n_peers=48)
+    ctx = OperatorContext(
+        network, strategy=SimilarityStrategy.NAIVE, naive_memo=memo(network)
+        if memo else None,
+    )
+    totals = []
+    matches = []
+    for index, (search, d) in enumerate(PROBES):
+        network.tracer.reset()
+        result = naive_similar(
+            ctx, search, TEXT_ATTR, d, initiator_id=index % network.n_peers
+        )
+        snapshot = network.tracer.snapshot()
+        totals.append(
+            (snapshot.messages, snapshot.payload_bytes, snapshot.by_type,
+             snapshot.by_phase)
+        )
+        matches.append([(m.oid, m.matched, m.distance) for m in result.matches])
+    return totals, matches
+
+
+class TestNaiveWorkloadMemo:
+    def test_memoized_probes_charge_identical_costs(self):
+        plain_totals, plain_matches = run_probes(memo=None)
+        memo_totals, memo_matches = run_probes(memo=NaiveWorkloadMemo)
+        assert memo_totals == plain_totals
+        assert memo_matches == plain_matches
+
+    def test_memo_hits_repeated_queries(self):
+        network = build_word_network(n_peers=48)
+        memo = NaiveWorkloadMemo(network)
+        ctx = OperatorContext(
+            network, strategy=SimilarityStrategy.NAIVE, naive_memo=memo
+        )
+        for __, (search, d) in enumerate(PROBES):
+            naive_similar(ctx, search, TEXT_ATTR, d, initiator_id=0)
+        # The memo computes once per (s, attribute) region at its band,
+        # so every later distance on the same search string is a hit.
+        unique = len({search for search, __ in PROBES})
+        assert memo.misses == unique
+        assert memo.hits == len(PROBES) - unique
+        assert len(memo) == unique
+
+    def test_store_mutation_invalidates_cached_outcomes(self):
+        """The static-store contract is enforced, not just documented.
+
+        Inserting data after a memoized query must invalidate the cached
+        region comparison — a stale replay would silently miss the new
+        match.
+        """
+        network = build_word_network(n_peers=48)
+        memo = NaiveWorkloadMemo(network)
+        ctx = OperatorContext(
+            network, strategy=SimilarityStrategy.NAIVE, naive_memo=memo
+        )
+        before = naive_similar(ctx, "apple", TEXT_ATTR, 0, initiator_id=0)
+        network.insert_triples([Triple("w:9999", TEXT_ATTR, "apple")])
+        after = naive_similar(ctx, "apple", TEXT_ATTR, 0, initiator_id=0)
+        assert memo.invalidations >= 1
+        assert {m.oid for m in after.matches} == (
+            {m.oid for m in before.matches} | {"w:9999"}
+        )
+
+    def test_clear_forces_recomputation(self):
+        network = build_word_network(n_peers=48)
+        memo = NaiveWorkloadMemo(network)
+        ctx = OperatorContext(
+            network, strategy=SimilarityStrategy.NAIVE, naive_memo=memo
+        )
+        naive_similar(ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+        memo.clear()
+        naive_similar(ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+        assert memo.misses == 2
+
+    def test_memoized_cell_matches_unmemoized_cell(self):
+        """Whole-workload equivalence through the bench harness itself."""
+        triples = word_triples()
+        strings = [
+            str(t.value) for t in triples if t.attribute == TEXT_ATTR
+        ]
+        config = StoreConfig(seed=7)
+        workload = make_workload(strings, 48, repetitions=2, seed=7)
+        cells = {}
+        for memoize in (False, True):
+            cells[memoize] = run_cell(
+                triples, TEXT_ATTR, strings, 48,
+                config=config, workload=workload, memoize_naive=memoize,
+            )
+        for strategy in cells[True].by_strategy:
+            plain = cells[False].by_strategy[strategy]
+            memoized = cells[True].by_strategy[strategy]
+            assert memoized.messages == plain.messages
+            assert memoized.payload_bytes == plain.payload_bytes
+            assert memoized.by_type == plain.by_type
+            assert memoized.by_phase == plain.by_phase
+
+
+class TestSampledBroadcastEstimator:
+    def test_off_by_default(self):
+        network = build_word_network(n_peers=48)
+        ctx = OperatorContext(network, strategy=SimilarityStrategy.NAIVE)
+        result = naive_similar(ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+        assert "sampled" not in result.extras
+
+    def test_sampled_run_is_flagged_and_structural_cost_exact(self):
+        exact_network = build_word_network(n_peers=48)
+        exact_ctx = OperatorContext(
+            exact_network, strategy=SimilarityStrategy.NAIVE
+        )
+        exact_network.tracer.reset()
+        exact = naive_similar(exact_ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+        exact_types = dict(exact_network.tracer.counts_by_type)
+
+        sampled_network = build_word_network(n_peers=48)
+        sampled_ctx = OperatorContext(
+            sampled_network,
+            strategy=SimilarityStrategy.NAIVE,
+            naive_sample_rate=0.25,
+        )
+        sampled_network.tracer.reset()
+        sampled = naive_similar(
+            sampled_ctx, "apple", TEXT_ATTR, 1, initiator_id=0
+        )
+        sampled_types = dict(sampled_network.tracer.counts_by_type)
+
+        assert sampled.extras["sampled"] == 1
+        assert sampled.extras["sample_stride"] == 4
+        assert sampled.extras["region_peers"] == exact.extras["region_peers"]
+        # The structural broadcast cost does not depend on the sample:
+        # one query copy per region peer, exactly as in the exact run.
+        assert sampled_types["broadcast"] == exact_types["broadcast"]
+        assert sampled_types["broadcast"] == exact.extras["region_peers"]
+        # Sampled matches are a subset of the exact ones.
+        exact_oids = {m.oid for m in exact.matches}
+        assert {m.oid for m in sampled.matches} <= exact_oids
+
+    def test_full_rate_stride_one_recovers_all_matches(self):
+        network = build_word_network(n_peers=48)
+        ctx = OperatorContext(
+            network, strategy=SimilarityStrategy.NAIVE, naive_sample_rate=0.99
+        )
+        sampled = naive_similar(ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+        exact_network = build_word_network(n_peers=48)
+        exact_ctx = OperatorContext(
+            exact_network, strategy=SimilarityStrategy.NAIVE
+        )
+        exact = naive_similar(exact_ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+        assert {m.oid for m in sampled.matches} == {m.oid for m in exact.matches}
+
+    def test_sampling_estimates_are_memoizable(self):
+        """Memoized sampled estimates charge exactly like unmemoized ones.
+
+        Routed-entry hops legitimately differ between calls (the router's
+        RNG advances), so the comparison runs the same call sequence on
+        two identically-seeded networks and compares call by call.
+        """
+
+        def run_twice(memo_factory):
+            network = build_word_network(n_peers=48)
+            ctx = OperatorContext(
+                network,
+                strategy=SimilarityStrategy.NAIVE,
+                naive_memo=memo_factory(network) if memo_factory else None,
+                naive_sample_rate=0.25,
+            )
+            snapshots = []
+            for __ in range(2):
+                network.tracer.reset()
+                naive_similar(ctx, "apple", TEXT_ATTR, 1, initiator_id=0)
+                snapshot = network.tracer.snapshot()
+                snapshots.append(
+                    (snapshot.messages, snapshot.payload_bytes, snapshot.by_type)
+                )
+            return ctx.naive_memo, snapshots
+
+        memo, memoized = run_twice(NaiveWorkloadMemo)
+        __, plain = run_twice(None)
+        assert memo.hits == 1
+        assert memoized == plain

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Documentation link checker (stdlib only; the CI docs job runs it).
+
+Scans the repository's markdown documentation for relative links and
+verifies every target exists.  External links (``http(s)://``,
+``mailto:``) are skipped — CI must not depend on network reachability —
+and intra-page anchors (``#...``) are checked only for non-emptiness.
+
+Usage::
+
+    python tools/check_docs.py [repo_root]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link
+is reported on stderr as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown files whose links are checked, relative to the repo root.
+DOC_FILES = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "benchmarks/README.md",
+    "ROADMAP.md",
+)
+
+#: ``[text](target)`` — good enough for the docs in this repository
+#: (no nested brackets, no reference-style links).
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every markdown link in a file."""
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_PATTERN.finditer(line):
+            yield line_number, match.group(1)
+
+
+def check_file(root: Path, relative: str) -> list[str]:
+    """All broken links of one document, as ``file:line: target`` strings."""
+    path = root / relative
+    if not path.exists():
+        return [f"{relative}: file missing"]
+    problems = []
+    for line_number, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:
+            if not anchor:
+                problems.append(f"{relative}:{line_number}: empty link target")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{relative}:{line_number}: {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    problems: list[str] = []
+    checked = 0
+    for relative in DOC_FILES:
+        if not (root / relative).exists():
+            problems.append(f"{relative}: file missing")
+            continue
+        checked += 1
+        problems.extend(check_file(root, relative))
+    if problems:
+        for problem in problems:
+            print(f"broken link: {problem}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {checked} files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
