@@ -14,7 +14,7 @@ Expected shapes (asserted):
 
 from repro.core.config import SimilarityStrategy
 from repro.query.operators.base import OperatorContext
-from repro.bench.experiment import build_network
+from repro.bench.experiment import ALL_STRATEGIES, build_network
 from repro.bench.report import format_panel, shape_check
 from repro.bench.workload import make_workload, run_workload
 from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
@@ -39,7 +39,7 @@ def test_fig1a_bible_messages(benchmark, bible_sweep):
     benchmark.pedantic(one_workload, rounds=3, iterations=1)
     print()
     print(format_panel("fig1a", bible_sweep))
-    for strategy in SimilarityStrategy:
+    for strategy in ALL_STRATEGIES:
         benchmark.extra_info[f"messages_{strategy.value}"] = (
             bible_sweep.message_series(strategy)
         )
@@ -64,7 +64,7 @@ def test_fig1b_bible_volume(benchmark, bible_sweep):
     print()
     print(format_panel("fig1b", bible_sweep))
     naive = bible_sweep.megabyte_series(SimilarityStrategy.NAIVE)
-    for strategy in SimilarityStrategy:
+    for strategy in ALL_STRATEGIES:
         benchmark.extra_info[f"megabytes_{strategy.value}"] = (
             bible_sweep.megabyte_series(strategy)
         )

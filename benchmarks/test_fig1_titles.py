@@ -12,7 +12,7 @@ margin at the largest peer count.
 
 from repro.core.config import SimilarityStrategy
 from repro.query.operators.base import OperatorContext
-from repro.bench.experiment import build_network
+from repro.bench.experiment import ALL_STRATEGIES, build_network
 from repro.bench.report import format_panel, shape_check
 from repro.bench.workload import make_workload, run_workload
 from repro.datasets.paintings import TITLE_ATTRIBUTE, painting_triples
@@ -37,7 +37,7 @@ def test_fig1c_titles_messages(benchmark, titles_sweep):
     benchmark.pedantic(one_workload, rounds=3, iterations=1)
     print()
     print(format_panel("fig1c", titles_sweep))
-    for strategy in SimilarityStrategy:
+    for strategy in ALL_STRATEGIES:
         benchmark.extra_info[f"messages_{strategy.value}"] = (
             titles_sweep.message_series(strategy)
         )
@@ -64,7 +64,7 @@ def test_fig1d_titles_volume(benchmark, titles_sweep):
     benchmark.pedantic(one_workload, rounds=3, iterations=1)
     print()
     print(format_panel("fig1d", titles_sweep))
-    for strategy in SimilarityStrategy:
+    for strategy in ALL_STRATEGIES:
         benchmark.extra_info[f"megabytes_{strategy.value}"] = (
             titles_sweep.megabyte_series(strategy)
         )

@@ -19,7 +19,7 @@ answers correctly because similarity predicates run inside the overlay
 (docs/ARCHITECTURE.md, "query/" section).  Runs in a few seconds.
 """
 
-from repro import StoreConfig, VerticalStore
+from repro import QueryEngine, StoreConfig
 from repro.datasets.cars import car_database
 
 
@@ -27,7 +27,7 @@ def main() -> None:
     db = car_database(
         n_cars=300, n_dealers=25, typo_rate=0.12, schema_typo_rate=0.2, seed=7
     )
-    store = VerticalStore.build(
+    store = QueryEngine.build(
         n_peers=128, triples=db.triples, config=StoreConfig(seed=7)
     )
     print(

@@ -12,13 +12,15 @@ availability math shows how to size the replication factor.
 
 Uses ``replication=3`` (three peers per partition) and the
 ``ChurnController`` from ``repro.overlay.churn``; the replication/
-availability formulas live in ``repro.overlay.replication``.  Note that
-benchmark-style memoization (docs/ARCHITECTURE.md, "Naive-broadcast
-scaling") is deliberately *not* used here — stores change under churn,
-which is exactly the situation the memo's contract excludes.
+availability formulas live in ``repro.overlay.replication``.  The
+engine is built with ``memoize=False``: churn is exactly the dynamic
+setting the whole-workload memos are not meant for (the engine's
+mutation-token check and per-entry version guards would keep them
+correct — peer failures do not change stored data — but this example
+demonstrates the plain, unmemoized flow).
 """
 
-from repro import StoreConfig, Triple, VerticalStore
+from repro import QueryEngine, StoreConfig, Triple
 from repro.overlay.churn import ChurnController
 from repro.overlay.replication import (
     network_availability,
@@ -38,7 +40,9 @@ def main() -> None:
         Triple(f"w:{i:04d}", "word:text", w) for i, w in enumerate(WORDS)
     ]
     config = StoreConfig(seed=21, replication=3)
-    store = VerticalStore.build(n_peers=48, triples=triples, config=config)
+    store = QueryEngine.build(
+        n_peers=48, triples=triples, config=config, memoize=False
+    )
     network = store.network
     print(
         f"{network.n_peers} peers, {network.n_partitions} partitions, "

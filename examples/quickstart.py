@@ -4,15 +4,18 @@ Run with::
 
     python examples/quickstart.py
 
-Builds a 64-peer P-Grid, loads a small word collection as vertical
-triples, and demonstrates the three query surfaces: the direct operator
-API (``similar``), VQL text queries, and cost introspection.  Finishes
+Builds a 64-peer P-Grid behind the :class:`repro.QueryEngine` facade,
+loads a small word collection as vertical triples, and demonstrates the
+four query surfaces: the direct operator API (``similar``), VQL text
+queries, cost introspection, and the cost-model-driven **adaptive**
+strategy mode (the engine picks naive vs. q-gram per query from
+collected statistics and reports predicted-vs-actual cost).  Finishes
 in a few seconds and doubles as the documentation smoke test (CI runs
 it on every push).  Start here, then see README.md for the module map
 and docs/ARCHITECTURE.md for how the pieces fit the paper.
 """
 
-from repro import StoreConfig, Triple, VerticalStore
+from repro import QueryEngine, SimilarityStrategy, StoreConfig, Triple
 
 WORDS = [
     "overlay", "overlap", "overall", "overload", "oversee",
@@ -31,19 +34,19 @@ def main() -> None:
         triples.append(Triple(oid, "word:text", word))
         triples.append(Triple(oid, "word:len", len(word)))
 
-    store = VerticalStore.build(
+    engine = QueryEngine.build(
         n_peers=64, triples=triples, config=StoreConfig(seed=42)
     )
-    print(f"network: {store.n_peers} peers, "
-          f"{store.network.total_entries()} index entries\n")
+    print(f"network: {engine.n_peers} peers, "
+          f"{engine.network.total_entries()} index entries\n")
 
     # 1. Direct operator API: strings within edit distance 1 of a typo.
-    result = store.similar("overlai", "word:text", d=1)
+    result = engine.similar("overlai", "word:text", d=1)
     print("similar('overlai', d=1):")
     for match in result.matches:
         print(f"  {match.matched!r}  (edit distance {match.distance:.0f})")
-    print(f"  cost: {store.last_cost().messages} messages, "
-          f"{store.last_cost().payload_bytes} bytes\n")
+    print(f"  cost: {engine.last_cost().messages} messages, "
+          f"{engine.last_cost().payload_bytes} bytes\n")
 
     # 2. VQL: similarity predicate plus a numeric filter, top-3 longest.
     query = """
@@ -52,7 +55,7 @@ def main() -> None:
         FILTER (dist(?w,'similarity') <= 3) }
         ORDER BY ?l DESC LIMIT 3
     """
-    result = store.query(query)
+    result = engine.query(query)
     print("VQL top-3 longest words within distance 3 of 'similarity':")
     for row in result.rows:
         print(f"  {row['w']!r} (length {row['l']})")
@@ -60,8 +63,19 @@ def main() -> None:
     print("\nphysical plan:")
     print(result.plan.explain())
 
-    # 3. Session ledger.
-    print(f"\nsession stats: {store.stats.summary()}")
+    # 3. Adaptive mode: collect statistics, let the cost model pick the
+    # strategy per query, and inspect its decision on the cost report.
+    engine.analyze(["word:text"])
+    engine.ctx.strategy = SimilarityStrategy.ADAPTIVE
+    result = engine.similar("strutured", "word:text", d=2)
+    print("\nadaptive similar('strutured', d=2):")
+    for match in result.matches:
+        print(f"  {match.matched!r}  (edit distance {match.distance:.0f})")
+    for decision in engine.last_decisions():
+        print(f"  [adaptive] {decision.summary()}")
+
+    # 4. Session ledger.
+    print(f"\nsession stats: {engine.stats.summary()}")
 
 
 if __name__ == "__main__":

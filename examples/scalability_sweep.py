@@ -18,13 +18,17 @@ cell's network is grown from the trie-derivation state of the previous
 cells rather than rebuilt, and naive broadcasts are memoized across the
 workload — both bit-identical to a from-scratch run (the engine's
 equivalence tests pin this), which is why the printed build times stay
-flat while the peer count multiplies.  For the full harness — all four
-panels, CSV/JSON output, paper-scale option, the sampled-broadcast
-estimator — use ``python -m repro.bench``.
+flat while the peer count multiplies.  A fourth, **adaptive** series
+rides along: the cost model (docs/ARCHITECTURE.md, "Engine & cost
+model") picks naive vs. q-gram per query from collected statistics —
+watch it track the cheapest fixed curve as the network grows.  For the
+full harness — all four panels, CSV/JSON output, paper-scale option,
+the sampled-broadcast estimator — use ``python -m repro.bench``.
 """
 
 from repro.core.config import StoreConfig
 from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
+from repro.bench.experiment import ALL_WITH_ADAPTIVE
 from repro.bench.report import format_panel, shape_check
 from repro.bench.sweep import sweep
 
@@ -48,6 +52,7 @@ def main() -> None:
         peer_counts=PEER_COUNTS,
         config=config,
         repetitions=2,
+        strategies=ALL_WITH_ADAPTIVE,
         progress=lambda message: print(f"  {message}"),
     )
     print()
@@ -59,6 +64,13 @@ def main() -> None:
         f"{cell.n_peers}p={cell.build_seconds:.2f}s" for cell in result.cells
     )
     print(f"incremental network builds: {builds}")
+    for cell in result.cells:
+        if cell.adaptive_choices:
+            print(
+                f"adaptive picks at {cell.n_peers} peers: "
+                f"{cell.adaptive_choices} "
+                f"(stats walk: {cell.adaptive_stats_messages} messages)"
+            )
     findings = shape_check(result)
     if findings:
         for finding in findings:

@@ -20,7 +20,7 @@ docs/ARCHITECTURE.md, "storage/" section, for the key families.
 
 import random
 
-from repro import StoreConfig, VerticalStore
+from repro import QueryEngine, StoreConfig
 from repro.storage.schema import record_to_triples
 
 #: Attribute spellings used by the three publishing communities.
@@ -33,7 +33,7 @@ COMMUNITY_ATTRIBUTES = {
 STATIONS = ["matterhorn", "jungfrau", "saentis", "rigi", "pilatus"]
 
 
-def publish(store: VerticalStore, seed: int) -> int:
+def publish(store: QueryEngine, seed: int) -> int:
     """Each community publishes records under its own spellings."""
     rng = random.Random(seed)
     triples = []
@@ -56,7 +56,7 @@ def publish(store: VerticalStore, seed: int) -> int:
 
 
 def main() -> None:
-    store = VerticalStore.build(n_peers=96, config=StoreConfig(seed=13))
+    store = QueryEngine.build(n_peers=96, config=StoreConfig(seed=13))
     entries = publish(store, seed=13)
     print(f"published {entries} index entries from 3 communities\n")
 

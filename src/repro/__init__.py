@@ -7,11 +7,15 @@ rank-aware top-N queries, and the paper's Figure 1 evaluation harness.
 
 Quickstart::
 
-    from repro import StoreConfig, Triple, VerticalStore
+    from repro import QueryEngine, StoreConfig, Triple
 
     triples = [Triple("w:0001", "word:text", "overlay")]
-    store = VerticalStore.build(n_peers=64, triples=triples)
-    hits = store.similar("overlai", "word:text", d=1)
+    engine = QueryEngine.build(n_peers=64, triples=triples)
+    hits = engine.similar("overlai", "word:text", d=1)
+
+:class:`QueryEngine` is the unified facade (network + statistics +
+cost-based adaptive strategy selection + workload memos);
+:class:`VerticalStore` extends it with record/relation insert helpers.
 """
 
 from repro.core.config import (
@@ -23,12 +27,14 @@ from repro.core.config import (
 from repro.core.errors import ReproError
 from repro.core.stats import QueryStats
 from repro.core.store import VerticalStore
+from repro.engine import QueryEngine
 from repro.storage.schema import RelationSchema
 from repro.storage.triple import Triple
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "QueryEngine",
     "QueryStats",
     "RankFunction",
     "RelationSchema",

@@ -1,6 +1,12 @@
 """Evaluation harness: workloads, experiment cells, sweeps, reports."""
 
-from repro.bench.experiment import ALL_STRATEGIES, CellResult, build_network, run_cell
+from repro.bench.experiment import (
+    ALL_STRATEGIES,
+    ALL_WITH_ADAPTIVE,
+    CellResult,
+    build_network,
+    run_cell,
+)
 from repro.bench.report import PANELS, format_panel, render_csv, shape_check, write_csv
 from repro.bench.sweep import (
     DEFAULT_PEER_COUNTS,
@@ -21,6 +27,7 @@ from repro.bench.workload import (
 
 __all__ = [
     "ALL_STRATEGIES",
+    "ALL_WITH_ADAPTIVE",
     "CellResult",
     "DEFAULT_PEER_COUNTS",
     "JOIN_DISTANCES",

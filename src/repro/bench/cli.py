@@ -23,6 +23,13 @@ from-scratch run.  ``--naive-sample RATE`` is the only switch that
 trades exactness for speed: it samples each naive broadcast region at
 ~RATE and extrapolates, and is recorded in the JSON (``scale`` and
 per-cell ``naive_sampled``) so estimated series stay distinguishable.
+
+Each cell additionally replays the workload in **adaptive** mode (the
+cost model of :mod:`repro.query.cost` picks naive vs. q-gram per query
+from collected statistics); the ``adaptive`` series, the one-off
+statistics cost, and the per-cell strategy tally are recorded in the
+JSON (schema v3, additive).  ``--no-adaptive`` skips that replay — the
+three fixed series are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import sys
 import time
 
 from repro.core.config import StoreConfig
+from repro.bench.experiment import ALL_STRATEGIES, ALL_WITH_ADAPTIVE
 from repro.datasets.bible import PAPER_WORD_COUNT, TEXT_ATTRIBUTE, bible_triples
 from repro.datasets.paintings import (
     PAPER_TITLE_COUNT,
@@ -118,6 +126,13 @@ def _parser() -> argparse.ArgumentParser:
         help="rebuild every cell's network from scratch and assert the "
         "incremental build is identical (slow; also REPRO_SWEEP_CHECK=1)",
     )
+    parser.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="skip the cost-model-driven adaptive replay (the three "
+        "fixed series are bit-identical either way; adaptive always "
+        "runs last and is recorded as its own series)",
+    )
     return parser
 
 
@@ -155,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
     sweep_options = {
         "naive_sample_rate": args.naive_sample,
         "check_equivalence": check,
+        "strategies": (
+            ALL_STRATEGIES if args.no_adaptive else ALL_WITH_ADAPTIVE
+        ),
     }
 
     results: dict[str, SweepResult] = {}
@@ -213,6 +231,9 @@ def main(argv: list[str] | None = None) -> int:
             # 0.0 = exact broadcasts; > 0 marks the "strings" series of
             # every cell as sampled-broadcast *estimates*.
             "naive_sample_rate": args.naive_sample,
+            # Whether the cost-model-driven adaptive replay ran (its
+            # series is additive; fixed series are identical either way).
+            "adaptive": not args.no_adaptive,
         }
         fig1_path = os.path.join(args.json_dir, "BENCH_fig1.json")
         with open(fig1_path, "w") as handle:

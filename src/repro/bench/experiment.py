@@ -19,15 +19,14 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from collections import Counter
+
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.core.stats import QueryStats
+from repro.engine import QueryEngine
 from repro.overlay.hashing import CompositeKeyCodec
 from repro.overlay.incremental import IncrementalNetworkBuilder
 from repro.overlay.network import PGridNetwork
-from repro.query.operators.base import OperatorContext
-from repro.query.operators.naive import NaiveWorkloadMemo
-from repro.query.operators.similar import GramScanMemo
-from repro.similarity.verify import VerifierPool
 from repro.storage.indexing import EntryFactory, IndexEntry
 from repro.storage.triple import Triple
 from repro.bench.workload import WorkloadQuery, make_workload, run_workload
@@ -38,6 +37,10 @@ ALL_STRATEGIES = (
     SimilarityStrategy.QGRAM,
     SimilarityStrategy.NAIVE,
 )
+
+#: The fixed strategies plus the cost-model-driven adaptive mode (the
+#: ``adaptive`` series of ``BENCH_fig1.json``).
+ALL_WITH_ADAPTIVE = ALL_STRATEGIES + (SimilarityStrategy.ADAPTIVE,)
 
 
 @dataclass
@@ -112,6 +115,12 @@ class CellResult:
     stored_payload_bytes: int = 0
     #: Sampled-broadcast estimator rate the cell ran with (0 = exact).
     naive_sample_rate: float = 0.0
+    #: One-off statistics-collection cost paid before the adaptive replay
+    #: (kept out of the workload series so all series stay comparable).
+    adaptive_stats_messages: int = 0
+    adaptive_stats_bytes: int = 0
+    #: How often the adaptive replay resolved to each physical strategy.
+    adaptive_choices: dict[str, int] = field(default_factory=dict)
 
     def messages(self, strategy: SimilarityStrategy) -> int:
         return self.by_strategy[strategy].messages
@@ -140,6 +149,7 @@ def run_cell(
     builder: IncrementalNetworkBuilder | None = None,
     memoize_naive: bool = True,
     memoize_gram_scans: bool = True,
+    memoize_fetches: bool = True,
     share_verifiers: bool = True,
     naive_sample_rate: float = 0.0,
 ) -> CellResult:
@@ -151,14 +161,23 @@ def run_cell(
     engine); when given, it takes precedence over ``prepared`` for
     network construction.
 
-    ``memoize_naive`` installs a whole-workload
-    :class:`~repro.query.operators.naive.NaiveWorkloadMemo`,
-    ``memoize_gram_scans`` a
-    :class:`~repro.query.operators.similar.GramScanMemo`, for the cell —
-    sound here because the cell's stores are static once loaded, and
-    cost-transparent (identical message/byte series) by construction.
-    ``naive_sample_rate`` > 0 opts into the sampled-broadcast estimator;
-    the default 0 keeps every naive series exact.
+    All cell wiring — the whole-workload memos, the shared verifier
+    pool, the cost model behind the adaptive replay — comes from one
+    :class:`~repro.engine.QueryEngine`; ``memoize_naive`` /
+    ``memoize_gram_scans`` / ``memoize_fetches`` / ``share_verifiers``
+    toggle its parts individually (each
+    acceleration is sound here because the cell's stores are static once
+    loaded, and cost-transparent — identical message/byte series — by
+    construction).  ``naive_sample_rate`` > 0 opts into the
+    sampled-broadcast estimator; the default 0 keeps every naive series
+    exact.
+
+    When ``strategies`` contains ``SimilarityStrategy.ADAPTIVE`` it
+    always replays *last*: it first collects per-attribute statistics
+    (a routed sampling walk whose cost is recorded separately on the
+    cell, not folded into the workload series) and consumes router RNG
+    draws doing so — running it after the fixed strategies keeps their
+    series bit-identical to an adaptive-free run.
     """
     config = config if config is not None else StoreConfig()
     started = time.perf_counter()
@@ -183,27 +202,58 @@ def run_cell(
         build_seconds=build_seconds,
         naive_sample_rate=naive_sample_rate,
     )
-    memo = NaiveWorkloadMemo(network) if memoize_naive else None
-    scan_memo = GramScanMemo(network) if memoize_gram_scans else None
-    # One verifier pool for the whole cell: the strategies replay the same
-    # workload, so later strategies re-verify (query, d) pairs an earlier
-    # one already solved.  Verification is deterministic — sharing the
-    # memos changes wall-clock only, never a match set or a message.
-    verifier_pool = VerifierPool() if share_verifiers else None
-    for strategy in strategies:
+    # One engine per cell: the strategies replay the same workload, so
+    # later strategies reuse the memos and verifier state earlier ones
+    # filled.  Sharing changes wall-clock only, never a match set or a
+    # message (pinned by tests).
+    engine = QueryEngine(
+        network,
+        memoize_naive=memoize_naive,
+        memoize_gram_scans=memoize_gram_scans,
+        memoize_fetches=memoize_fetches,
+        share_verifiers=share_verifiers,
+        naive_sample_rate=naive_sample_rate,
+    )
+    fixed = [s for s in strategies if s is not SimilarityStrategy.ADAPTIVE]
+    for strategy in fixed:
         network.tracer.reset()
-        ctx = OperatorContext(
-            network,
-            strategy=strategy,
-            naive_memo=memo,
-            naive_sample_rate=naive_sample_rate,
-            verifier_pool=verifier_pool,
-            gram_scan_memo=scan_memo,
-        )
+        ctx = engine.context(strategy=strategy)
         result.by_strategy[strategy] = run_workload(
             ctx, attribute, workload, strategy
         )
+    if SimilarityStrategy.ADAPTIVE in strategies:
+        _run_adaptive(engine, attribute, workload, result)
     result.wall_seconds = time.perf_counter() - started
     result.total_entries = network.total_entries()
     result.stored_payload_bytes = network.total_payload_bytes()
     return result
+
+
+def _run_adaptive(
+    engine: QueryEngine,
+    attribute: str,
+    workload: Sequence[WorkloadQuery],
+    result: CellResult,
+) -> None:
+    """The cell's adaptive replay: collect statistics, then run.
+
+    The one-off statistics walk is what the adaptive mode pays to become
+    informed; it is recorded on the cell (``adaptive_stats_messages``)
+    but kept out of the per-query workload series, which therefore stay
+    directly comparable to the fixed strategies'.
+    """
+    from repro.query.statistics import collect_statistics
+
+    network = engine.network
+    network.tracer.reset()
+    ctx = engine.context(strategy=SimilarityStrategy.ADAPTIVE)
+    ctx.catalog = collect_statistics(ctx, [attribute])
+    stats_snapshot = network.tracer.snapshot()
+    result.adaptive_stats_messages = stats_snapshot.messages
+    result.adaptive_stats_bytes = stats_snapshot.payload_bytes
+    result.by_strategy[SimilarityStrategy.ADAPTIVE] = run_workload(
+        ctx, attribute, workload, SimilarityStrategy.ADAPTIVE
+    )
+    result.adaptive_choices = dict(
+        Counter(decision.chosen.value for decision in ctx.decision_log)
+    )

@@ -26,14 +26,23 @@ from repro.storage.datastore import LocalDataStore
 from repro.storage.indexing import EntryFactory
 from repro.storage.qgrams import positional_qgrams, qgram_tuples
 
-#: Schema tag embedded in ``BENCH_micro.json``.
-MICRO_SCHEMA = "repro-bench-micro/v1"
+#: Schema tag embedded in ``BENCH_micro.json``.  v2 adds the
+#: ``cost_model`` accuracy section (predicted-vs-measured messages per
+#: strategy); the v1 ``ops``/``speedups`` fields are unchanged.
+MICRO_SCHEMA = "repro-bench-micro/v2"
 
 #: Corpus size feeding the micro fixtures (small; ops are microseconds).
 MICRO_WORDS = 1500
 
 #: Edit-distance radius used by the verification ops.
 MICRO_DISTANCE = 2
+
+#: Corpus / network size of the cost-model accuracy fixture.
+COST_MODEL_WORDS = 600
+COST_MODEL_PEERS = 256
+
+#: Similarity queries measured per distance by the accuracy fixture.
+COST_MODEL_QUERIES_PER_D = 3
 
 
 def _time_op(
@@ -55,6 +64,79 @@ def _time_op(
         "seconds_per_call": mean,
         "best_seconds_per_call": best,
         "calls": rounds,
+    }
+
+
+def run_cost_model_accuracy(seed: int = 0) -> dict[str, object]:
+    """Predicted-vs-measured cost of the adaptive strategy model.
+
+    Builds one mid-size network, collects statistics the way the
+    adaptive replay does, then runs a small query mix under every fixed
+    strategy while asking the :class:`~repro.query.cost.StrategyCostModel`
+    for its predictions.  Reported per strategy: total predicted and
+    measured messages plus their ratio; plus the fraction of queries
+    where the model's pick measured within 2x of the best strategy (the
+    adaptive mode's acceptance bound).
+    """
+    from repro.bench.experiment import ALL_STRATEGIES, build_network
+    from repro.datasets.bible import TEXT_ATTRIBUTE
+    from repro.engine import QueryEngine
+    from repro.query.statistics import collect_statistics
+
+    config = StoreConfig(
+        seed=seed, index_values=False, index_schema_grams=False
+    )
+    corpus = bible_triples(COST_MODEL_WORDS, seed=seed)
+    strings = sorted({str(t.value) for t in corpus})
+    network = build_network(corpus, COST_MODEL_PEERS, config)
+    engine = QueryEngine(network)
+    ctx = engine.context(strategy=ALL_STRATEGIES[0])
+    catalog = collect_statistics(ctx, [TEXT_ATTRIBUTE])
+    tracer = network.tracer
+
+    rng = random.Random(seed)
+    queries = [
+        (rng.choice(strings), d)
+        for d in (1, 2, 3)
+        for __ in range(COST_MODEL_QUERIES_PER_D)
+    ]
+    predicted_total = {s.value: 0.0 for s in ALL_STRATEGIES}
+    measured_total = {s.value: 0 for s in ALL_STRATEGIES}
+    chosen_within_bound = 0
+    from repro.query.operators.similar import similar as _similar
+
+    for search, d in queries:
+        predictions = engine.cost_model.predict_all(
+            search, TEXT_ATTRIBUTE, d, catalog
+        )
+        measured: dict[str, int] = {}
+        for strategy in ALL_STRATEGIES:
+            before = tracer.snapshot()
+            _similar(ctx, search, TEXT_ATTRIBUTE, d, strategy=strategy)
+            measured[strategy.value] = before.delta(tracer.snapshot()).messages
+            predicted_total[strategy.value] += predictions[strategy.value].messages
+            measured_total[strategy.value] += measured[strategy.value]
+        chosen = min(predictions, key=lambda key: predictions[key].messages)
+        if measured[chosen] <= 2 * min(measured.values()):
+            chosen_within_bound += 1
+    return {
+        "params": {
+            "seed": seed,
+            "words": COST_MODEL_WORDS,
+            "peers": COST_MODEL_PEERS,
+            "queries": len(queries),
+        },
+        "per_strategy": {
+            value: {
+                "predicted_messages": round(predicted_total[value], 1),
+                "measured_messages": measured_total[value],
+                "predicted_over_measured": round(
+                    predicted_total[value] / max(measured_total[value], 1), 3
+                ),
+            }
+            for value in predicted_total
+        },
+        "chosen_within_2x_of_best": chosen_within_bound / len(queries),
     }
 
 
@@ -139,6 +221,7 @@ def run_micro(seed: int = 0) -> dict[str, object]:
             "distance": MICRO_DISTANCE,
         },
         "ops": ops,
+        "cost_model": run_cost_model_accuracy(seed=seed),
         "speedups": {
             "gram_lookup_indexed_vs_scan": ratio(
                 "gram_lookup_scan", "gram_lookup_indexed"

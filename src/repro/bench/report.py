@@ -33,12 +33,30 @@ PANEL_TITLES = {
 }
 
 
+def panel_strategies(
+    result: SweepResult,
+) -> tuple[SimilarityStrategy, ...]:
+    """The strategies a sweep actually measured, in legend order.
+
+    The three fixed series come first (the paper's legend), then any
+    additional measured series — in practice ``adaptive``.
+    """
+    if not result.cells:
+        return ALL_STRATEGIES
+    measured = result.cells[0].by_strategy
+    ordered = [s for s in ALL_STRATEGIES if s in measured]
+    ordered += [s for s in measured if s not in ordered]
+    return tuple(ordered)
+
+
 def format_panel(
     panel: str,
     result: SweepResult,
-    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+    strategies: Sequence[SimilarityStrategy] | None = None,
 ) -> str:
-    """One panel as an aligned text table."""
+    """One panel as an aligned text table (all measured series)."""
+    if strategies is None:
+        strategies = panel_strategies(result)
     __, metric = PANELS[panel]
     lines = [PANEL_TITLES[panel]]
     header = ["peers"] + [s.value for s in strategies]
@@ -61,9 +79,11 @@ def format_panel(
 
 def render_csv(
     result: SweepResult,
-    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+    strategies: Sequence[SimilarityStrategy] | None = None,
 ) -> str:
     """Sweep results as CSV: one row per (peers, strategy)."""
+    if strategies is None:
+        strategies = panel_strategies(result)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["dataset", "peers", "strategy", "messages", "megabytes"])
@@ -87,16 +107,18 @@ def write_csv(path: str, result: SweepResult) -> None:
         handle.write(render_csv(result))
 
 
-#: Schema tag embedded in ``BENCH_fig1.json``.  v2 adds per-cell
-#: ``build_seconds`` (incremental network construction + placement) and,
-#: when the sampled-broadcast estimator is active, ``naive_sampled`` —
-#: all additive; the v1 series fields are unchanged.
-FIG1_SCHEMA = "repro-bench-fig1/v2"
+#: Schema tag embedded in ``BENCH_fig1.json``.  v3 adds the ``adaptive``
+#: strategy series plus the per-cell ``adaptive_stats_messages`` /
+#: ``adaptive_stats_bytes`` / ``adaptive_choices`` fields (the cost of
+#: the one-off statistics walk and the cost model's strategy picks) —
+#: all additive; the v2 fields (``build_seconds``, ``naive_sampled``)
+#: and the v1 series fields are unchanged.
+FIG1_SCHEMA = "repro-bench-fig1/v3"
 
 
 def sweep_to_dict(
     result: SweepResult,
-    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+    strategies: Sequence[SimilarityStrategy] | None = None,
 ) -> dict:
     """One sweep as a JSON-ready dict (the ``BENCH_fig1.json`` cell list).
 
@@ -105,8 +127,11 @@ def sweep_to_dict(
     network build seconds, stored entry count and payload bytes.  Cells
     measured with the sampled-broadcast estimator additionally carry
     ``"naive_sampled": true`` so estimated ``strings`` series can never
-    be mistaken for exact ones.
+    be mistaken for exact ones; cells with an adaptive replay carry the
+    statistics-walk cost and the tally of chosen strategies.
     """
+    if strategies is None:
+        strategies = panel_strategies(result)
     cells = []
     for cell in result.cells:
         cell_dict = {
@@ -125,6 +150,12 @@ def sweep_to_dict(
         }
         if cell.naive_sample_rate:
             cell_dict["naive_sampled"] = True
+        if SimilarityStrategy.ADAPTIVE in cell.by_strategy:
+            cell_dict["adaptive_stats_messages"] = cell.adaptive_stats_messages
+            cell_dict["adaptive_stats_bytes"] = cell.adaptive_stats_bytes
+            cell_dict["adaptive_choices"] = dict(
+                sorted(cell.adaptive_choices.items())
+            )
         cells.append(cell_dict)
     return {"dataset": result.dataset, "cells": cells}
 
@@ -132,7 +163,7 @@ def sweep_to_dict(
 def render_fig1_json(
     results: dict[str, SweepResult],
     scale: dict,
-    strategies: Sequence[SimilarityStrategy] = ALL_STRATEGIES,
+    strategies: Sequence[SimilarityStrategy] | None = None,
 ) -> dict:
     """The full ``BENCH_fig1.json`` payload for a set of sweeps."""
     return {
@@ -176,4 +207,14 @@ def shape_check(result: SweepResult) -> list[str]:
             f"naive should be the most expensive at scale: "
             f"{naive[-1]} vs qsamples {qsample[-1]}"
         )
+    if result.cells and SimilarityStrategy.ADAPTIVE in result.cells[0].by_strategy:
+        adaptive = result.message_series(SimilarityStrategy.ADAPTIVE)
+        for index, cell in enumerate(result.cells):
+            best = min(naive[index], qgram[index], qsample[index])
+            if adaptive[index] > 2 * best:
+                findings.append(
+                    f"adaptive should stay within 2x of the best fixed "
+                    f"strategy: {adaptive[index]} vs {best} at "
+                    f"{cell.n_peers} peers"
+                )
     return findings

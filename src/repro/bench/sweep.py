@@ -85,6 +85,7 @@ def sweep(
     check_equivalence: bool | None = None,
     memoize_naive: bool = True,
     memoize_gram_scans: bool = True,
+    memoize_fetches: bool = True,
     share_verifiers: bool = True,
     naive_sample_rate: float = 0.0,
 ) -> SweepResult:
@@ -102,6 +103,11 @@ def sweep(
     ``naive_sample_rate`` > 0 opts into the sampled-broadcast estimator
     for the naive strategy (approximate series, flagged in the JSON);
     the default keeps every series exact.
+
+    Including ``SimilarityStrategy.ADAPTIVE`` in ``strategies`` (e.g.
+    :data:`~repro.bench.experiment.ALL_WITH_ADAPTIVE`) adds the
+    cost-model-driven replay to every cell; it always runs last, so the
+    fixed series stay bit-identical to an adaptive-free sweep.
     """
     result = SweepResult(dataset=dataset)
     config = config if config is not None else StoreConfig()
@@ -124,6 +130,7 @@ def sweep(
             builder=builder,
             memoize_naive=memoize_naive,
             memoize_gram_scans=memoize_gram_scans,
+            memoize_fetches=memoize_fetches,
             share_verifiers=share_verifiers,
             naive_sample_rate=naive_sample_rate,
         )

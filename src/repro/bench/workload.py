@@ -92,8 +92,14 @@ def run_query(
     query: WorkloadQuery,
     strategy: SimilarityStrategy,
 ) -> CostReport:
-    """Execute one workload query under a strategy; returns its cost."""
+    """Execute one workload query under a strategy; returns its cost.
+
+    Adaptive-mode strategy decisions taken while the query ran (one per
+    ``Similar`` probe: deepening rounds and join probes each decide) are
+    attached to the returned :class:`CostReport`.
+    """
     tracer = ctx.network.tracer
+    decision_mark = len(ctx.decision_log)
     before = tracer.snapshot()
     if query.kind is QueryKind.TOP_N:
         top_n_string_nn(
@@ -115,7 +121,9 @@ def run_query(
             initiator_id=query.initiator_id,
             strategy=strategy,
         )
-    return CostReport.from_delta(before, tracer.snapshot())
+    cost = CostReport.from_delta(before, tracer.snapshot())
+    cost.decisions = list(ctx.decision_log[decision_mark:])
+    return cost
 
 
 def run_workload(

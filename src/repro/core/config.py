@@ -38,11 +38,24 @@ class SimilarityStrategy(enum.Enum):
       string (Algorithm 2 with a full q-gram set).
     * ``QSAMPLE`` — look up only ``d + 1`` non-overlapping q-grams sampled
       every q-th position (Algorithm 2 with a q-sample, after [11]).
+    * ``ADAPTIVE`` — not a physical strategy itself: each query is resolved
+      to one of the three above by the cost model
+      (:mod:`repro.query.cost`), using collected statistics when
+      available.  This is the "choice depending on cost optimizations"
+      the paper defers to ongoing work.  The decision, its predicted
+      cost, and the measured cost are recorded on the query's
+      :class:`~repro.overlay.messages.CostReport`.
     """
 
     NAIVE = "strings"
     QGRAM = "qgrams"
     QSAMPLE = "qsamples"
+    ADAPTIVE = "adaptive"
+
+    @property
+    def is_physical(self) -> bool:
+        """True for strategies an operator can execute directly."""
+        return self is not SimilarityStrategy.ADAPTIVE
 
     @classmethod
     def from_name(cls, name: str) -> "SimilarityStrategy":

@@ -1,8 +1,12 @@
-"""The public facade: :class:`VerticalStore`.
+"""The data-management facade: :class:`VerticalStore`.
 
 A ``VerticalStore`` is the paper's "public data management" system in one
 object: a P-Grid overlay, the vertical triple storage scheme on top of it,
-and the VQL query processor.  Typical use::
+and the VQL query processor.  Since PR 5 it is a thin specialization of
+:class:`repro.engine.QueryEngine` — the unified query facade that owns
+the statistics catalog, the cost model behind
+``SimilarityStrategy.ADAPTIVE``, and the whole-workload memos — adding
+only the record/relation insert helpers.  Typical use::
 
     from repro import VerticalStore, StoreConfig
 
@@ -23,90 +27,21 @@ The store also exposes the physical operators directly (``similar``,
 
 from __future__ import annotations
 
-import random
-from collections.abc import Iterable, Mapping, Sequence
-from contextlib import contextmanager
+from collections.abc import Iterable, Mapping
 
-from repro.core.config import RankFunction, SimilarityStrategy, StoreConfig
-from repro.core.stats import QueryStats
-from repro.overlay.messages import CostReport, MessageTracer
-from repro.overlay.network import PGridNetwork
-from repro.query.executor import Executor, QueryResult
-from repro.query.operators.base import MatchedObject, OperatorContext
-from repro.query.operators.exact import (
-    keyword_lookup,
-    lookup_object,
-    select_equals,
-)
-from repro.query.operators.range_scan import numeric_similar
-from repro.query.operators.similar import SimilarResult, similar
-from repro.query.operators.simjoin import SimJoinResult, anchored_sim_join, sim_join
-from repro.query.operators.topn import TopNResult, top_n_numeric, top_n_string_nn
-from repro.similarity.filters import FilterConfig
+from repro.engine import QueryEngine
 from repro.storage.schema import RelationSchema, record_to_triples
 from repro.storage.triple import Triple, ValueType
 
-if True:  # deferred import target for type checkers
-    from typing import TYPE_CHECKING
 
-    if TYPE_CHECKING:  # pragma: no cover
-        from repro.query.statistics import StatisticsCatalog
+class VerticalStore(QueryEngine):
+    """Vertically-organized structured data in a structured overlay.
 
-
-class VerticalStore:
-    """Vertically-organized structured data in a structured overlay."""
-
-    def __init__(self, network: PGridNetwork, strategy: SimilarityStrategy | None = None):
-        self.network = network
-        self.config = network.config
-        filters = FilterConfig(
-            use_position=self.config.enable_position_filter,
-            use_length=self.config.enable_length_filter,
-        )
-        self.ctx = OperatorContext(
-            network,
-            strategy=strategy if strategy is not None else self.config.strategy,
-            filters=filters,
-            rng=random.Random(self.config.seed + 3),
-        )
-        self.executor = Executor(self.ctx)
-        self.stats = QueryStats()
-        self.catalog: "StatisticsCatalog | None" = None
-
-    # -- construction -------------------------------------------------------------
-
-    @classmethod
-    def build(
-        cls,
-        n_peers: int,
-        triples: Sequence[Triple] = (),
-        config: StoreConfig | None = None,
-        strategy: SimilarityStrategy | str | None = None,
-    ) -> "VerticalStore":
-        """Build a network sized for ``triples`` and bulk-load them.
-
-        The trie is balanced against the actual index-entry keys the data
-        will produce (P-Grid's load balancing), then the entries are
-        placed.  Use :meth:`insert` afterwards for incremental additions.
-        """
-        config = config if config is not None else StoreConfig()
-        if isinstance(strategy, str):
-            strategy = SimilarityStrategy.from_name(strategy)
-        tracer = MessageTracer()
-        probe = PGridNetwork(1, config, tracer=MessageTracer())
-        sample_keys = [
-            entry.key for entry in probe.entry_factory.entries_for_all(triples)
-        ]
-        network = PGridNetwork(n_peers, config, sample_keys=sample_keys, tracer=tracer)
-        if triples:
-            network.insert_triples(triples)
-        return cls(network, strategy=strategy)
-
-    # -- data management --------------------------------------------------------------
-
-    def insert(self, triples: Iterable[Triple]) -> int:
-        """Index and place triples; returns the number of entries stored."""
-        return self.network.insert_triples(triples)
+    Everything query-side — VQL, direct operators, ``analyze``,
+    adaptive-mode cost decisions, the memo lifecycle — is inherited from
+    :class:`~repro.engine.QueryEngine`; this class adds the convenience
+    inserters for dict-shaped records and horizontal relations.
+    """
 
     def insert_record(
         self, oid: str, record: Mapping[str, ValueType], namespace: str = ""
@@ -125,136 +60,3 @@ class VerticalStore:
         for serial, row in enumerate(rows, start=start_serial):
             triples.extend(schema.tuple_to_triples(schema.make_oid(serial), row))
         return self.insert(triples)
-
-    # -- VQL ----------------------------------------------------------------------------
-
-    def query(self, text: str, initiator_id: int | None = None) -> QueryResult:
-        """Parse, plan and execute a VQL query; records its cost.
-
-        When :meth:`analyze` has been run, plans are ordered by estimated
-        cardinalities from the collected statistics.
-        """
-        result = self.executor.execute_text(text, initiator_id, self.catalog)
-        self.stats.record(result.cost)
-        return result
-
-    def analyze(
-        self, attributes: Sequence[str], sample_partitions: int = 4
-    ) -> "StatisticsCatalog":
-        """Collect overlay statistics for ``attributes`` (cost charged).
-
-        The catalog is retained and used by subsequent :meth:`query`
-        calls for cost-based plan ordering.
-        """
-        from repro.query.statistics import collect_statistics
-
-        with self._recorded():
-            self.catalog = collect_statistics(
-                self.ctx, attributes, sample_partitions
-            )
-        return self.catalog
-
-    def explain(self, text: str) -> str:
-        """The physical plan VQL text would execute, without running it."""
-        from repro.query.parser import parse
-        from repro.query.planner import plan
-
-        return plan(parse(text), self.catalog).explain()
-
-    # -- direct operator access ------------------------------------------------------------
-
-    def similar(
-        self,
-        search: str,
-        attribute: str,
-        d: int,
-        strategy: SimilarityStrategy | str | None = None,
-    ) -> SimilarResult:
-        """``Similar(s, a, d)`` — instance level; ``attribute=''`` for schema."""
-        if isinstance(strategy, str):
-            strategy = SimilarityStrategy.from_name(strategy)
-        with self._recorded():
-            return similar(self.ctx, search, attribute, d, strategy=strategy)
-
-    def similar_numeric(
-        self, attribute: str, center: float, distance: float
-    ) -> list[MatchedObject]:
-        """Numeric similarity: values within ``distance`` of ``center``."""
-        with self._recorded():
-            return numeric_similar(self.ctx, attribute, center, distance)
-
-    def sim_join(
-        self, left_attribute: str, right_attribute: str, d: int, **kwargs
-    ) -> SimJoinResult:
-        """``SimJoin(ln, rn, d)`` over the full left column (Algorithm 3)."""
-        with self._recorded():
-            return sim_join(self.ctx, left_attribute, right_attribute, d, **kwargs)
-
-    def sim_join_anchored(
-        self, left_attribute: str, search: str, right_attribute: str, d: int
-    ) -> SimJoinResult:
-        """The evaluation workload's anchored similarity join."""
-        with self._recorded():
-            return anchored_sim_join(
-                self.ctx, left_attribute, search, right_attribute, d
-            )
-
-    def top_n(
-        self,
-        attribute: str,
-        n: int,
-        rank: RankFunction | str = RankFunction.NN,
-        reference: float = 0.0,
-    ) -> TopNResult:
-        """Numeric top-N (Algorithm 4) with MIN/MAX/NN ranking."""
-        if isinstance(rank, str):
-            rank = RankFunction(rank.upper())
-        with self._recorded():
-            return top_n_numeric(
-                self.ctx, attribute, n, rank, reference, fetch_full_objects=True
-            )
-
-    def top_n_string(
-        self, attribute: str, search: str, n: int, max_distance: int = 5
-    ) -> TopNResult:
-        """String nearest-neighbour top-N (iterative deepening)."""
-        with self._recorded():
-            return top_n_string_nn(self.ctx, attribute, search, n, max_distance)
-
-    def lookup(self, oid: str) -> tuple[Triple, ...]:
-        """Fetch the complete object stored under ``key(oid)``."""
-        with self._recorded():
-            return lookup_object(self.ctx, oid)
-
-    def select(self, attribute: str, value: ValueType) -> list[MatchedObject]:
-        """Exact selection ``attribute = value``."""
-        with self._recorded():
-            return select_equals(self.ctx, attribute, value)
-
-    def keyword(self, value: ValueType) -> list[Triple]:
-        """Keyword query: triples with ``value`` under any attribute."""
-        with self._recorded():
-            return keyword_lookup(self.ctx, value)
-
-    # -- introspection -------------------------------------------------------------------------
-
-    @property
-    def n_peers(self) -> int:
-        return self.network.n_peers
-
-    def last_cost(self) -> CostReport:
-        """Cost of the most recent recorded operation."""
-        return self._last_cost
-
-    @contextmanager
-    def _recorded(self):
-        """Charge the wrapped operation's message delta to ``stats``."""
-        before = self.network.tracer.snapshot()
-        try:
-            yield
-        finally:
-            after = self.network.tracer.snapshot()
-            self._last_cost = CostReport.from_delta(before, after)
-            self.stats.record(self._last_cost)
-
-    _last_cost: CostReport = CostReport(messages=0, payload_bytes=0)

@@ -1,0 +1,442 @@
+"""The unified query facade: :class:`QueryEngine`.
+
+One object owns everything a query needs — the network, the statistics
+catalog, the planner/executor pair, the whole-workload memos
+(:class:`~repro.query.operators.naive.NaiveWorkloadMemo`,
+:class:`~repro.query.operators.similar.GramScanMemo`,
+:class:`~repro.query.operators.base.FetchObjectsMemo`), the shared
+:class:`~repro.similarity.verify.VerifierPool`, and the cost model that
+resolves ``SimilarityStrategy.ADAPTIVE`` — so every entry point (the
+shell, the examples, the benchmark harness, library users) gets the same
+wiring instead of hand-assembling an
+:class:`~repro.query.operators.base.OperatorContext`.
+
+Typical use::
+
+    from repro import QueryEngine, StoreConfig, Triple
+
+    engine = QueryEngine.build(
+        n_peers=256,
+        triples=my_triples,
+        config=StoreConfig(seed=7),
+        strategy="adaptive",
+    )
+    engine.analyze(["car:name"])             # feed the cost model
+    result = engine.query(
+        "SELECT ?n WHERE { (?o,car:name,?n) FILTER (dist(?n,'BMW') < 2) }"
+    )
+    for decision in result.cost.decisions:   # what adaptive mode picked
+        print(decision.summary())
+
+Memo validity — the static-store contract — is *enforced* here: the
+engine snapshots the network-wide mutation token (the sum of every
+:class:`~repro.storage.datastore.LocalDataStore` mutation counter) and
+re-checks it on every recorded operation; any change drops all memos at
+once.  The memos additionally carry per-entry version checks, so even a
+mutation slipping between checks can never replay stale data.
+
+:class:`repro.core.store.VerticalStore` — the facade of earlier PRs —
+subclasses this engine, adding only the record/relation insert helpers,
+so existing code keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+
+from repro.core.config import RankFunction, SimilarityStrategy, StoreConfig
+from repro.core.stats import QueryStats
+from repro.overlay.messages import CostReport, MessageTracer
+from repro.overlay.network import PGridNetwork
+from repro.query.cost import StrategyCostModel, StrategyDecision
+from repro.query.executor import Executor, QueryResult
+from repro.query.operators.base import (
+    FetchObjectsMemo,
+    MatchedObject,
+    OperatorContext,
+)
+from repro.query.operators.exact import (
+    keyword_lookup,
+    lookup_object,
+    select_equals,
+)
+from repro.query.operators.naive import NaiveWorkloadMemo
+from repro.query.operators.range_scan import numeric_similar
+from repro.query.operators.similar import GramScanMemo, SimilarResult, similar
+from repro.query.operators.simjoin import SimJoinResult, anchored_sim_join, sim_join
+from repro.query.operators.topn import TopNResult, top_n_numeric, top_n_string_nn
+from repro.similarity.filters import FilterConfig
+from repro.similarity.verify import VerifierPool
+from repro.storage.triple import Triple, ValueType
+
+if True:  # deferred import target for type checkers
+    from typing import TYPE_CHECKING
+
+    if TYPE_CHECKING:  # pragma: no cover
+        from repro.bench.latency import LatencyModel
+        from repro.query.statistics import StatisticsCatalog
+
+
+class QueryEngine:
+    """Query processing over one populated network, fully wired.
+
+    Parameters
+    ----------
+    network:
+        The overlay to query.
+    strategy:
+        Default similarity strategy (enum, name string, or ``None`` for
+        the network config's; ``"adaptive"`` turns on cost-based
+        selection).
+    catalog:
+        A pre-collected statistics catalog; usually left ``None`` and
+        filled via :meth:`analyze`.
+    latency_model:
+        Cost constants for the latency leg of predictions.
+    memoize:
+        Master switch for the three whole-workload memos; the
+        ``memoize_*`` keywords override it individually (the benchmark
+        ablations need that).
+    share_verifiers:
+        Install a shared :class:`~repro.similarity.verify.VerifierPool`.
+    naive_sample_rate:
+        Default sampled-broadcast estimator rate for contexts built by
+        this engine (0 = exact).
+    """
+
+    def __init__(
+        self,
+        network: PGridNetwork,
+        strategy: SimilarityStrategy | str | None = None,
+        catalog: "StatisticsCatalog | None" = None,
+        latency_model: "LatencyModel | None" = None,
+        memoize: bool = True,
+        memoize_naive: bool | None = None,
+        memoize_gram_scans: bool | None = None,
+        memoize_fetches: bool | None = None,
+        share_verifiers: bool = True,
+        naive_sample_rate: float = 0.0,
+    ):
+        self.network = network
+        self.config = network.config
+        if isinstance(strategy, str):
+            strategy = SimilarityStrategy.from_name(strategy)
+
+        def flag(override: bool | None) -> bool:
+            return memoize if override is None else override
+
+        self.naive_memo = (
+            NaiveWorkloadMemo(network) if flag(memoize_naive) else None
+        )
+        self.gram_scan_memo = (
+            GramScanMemo(network) if flag(memoize_gram_scans) else None
+        )
+        self.fetch_memo = (
+            FetchObjectsMemo(network) if flag(memoize_fetches) else None
+        )
+        self.verifier_pool = VerifierPool() if share_verifiers else None
+        self.cost_model = StrategyCostModel(network, latency_model)
+        self.naive_sample_rate = naive_sample_rate
+        self._filters = FilterConfig(
+            use_position=self.config.enable_position_filter,
+            use_length=self.config.enable_length_filter,
+        )
+        self._mutation_token = network.store_version_token()
+        if catalog is None:
+            # Start with an empty catalog object (not None) so every
+            # context derived from this engine — including ones created
+            # before the first ``analyze`` — shares the same instance
+            # and sees later statistics; ``analyze`` merges in place.
+            from repro.query.statistics import StatisticsCatalog
+
+            catalog = StatisticsCatalog()
+        self.ctx = self.context(
+            strategy=strategy if strategy is not None else self.config.strategy,
+            rng=random.Random(self.config.seed + 3),
+            catalog=catalog,
+        )
+        self.executor = Executor(self.ctx)
+        self.stats = QueryStats()
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        n_peers: int,
+        triples: Sequence[Triple] = (),
+        config: StoreConfig | None = None,
+        strategy: SimilarityStrategy | str | None = None,
+        **engine_options,
+    ) -> "QueryEngine":
+        """Build a network sized for ``triples``, bulk-load, and wrap it.
+
+        The trie is balanced against the actual index-entry keys the data
+        will produce (P-Grid's load balancing), then the entries are
+        placed.  Use :meth:`insert` afterwards for incremental additions.
+        """
+        config = config if config is not None else StoreConfig()
+        tracer = MessageTracer()
+        probe = PGridNetwork(1, config, tracer=MessageTracer())
+        sample_keys = [
+            entry.key for entry in probe.entry_factory.entries_for_all(triples)
+        ]
+        network = PGridNetwork(n_peers, config, sample_keys=sample_keys, tracer=tracer)
+        if triples:
+            network.insert_triples(triples)
+        return cls(network, strategy=strategy, **engine_options)
+
+    # -- context wiring ------------------------------------------------------------
+
+    def context(
+        self,
+        strategy: SimilarityStrategy | str | None = None,
+        rng: random.Random | None = None,
+        naive_sample_rate: float | None = None,
+        catalog: "StatisticsCatalog | None" = None,
+    ) -> OperatorContext:
+        """A fresh :class:`OperatorContext` sharing this engine's wiring.
+
+        Benchmark replays build one context per strategy; each shares the
+        engine's memos, verifier pool, cost model and catalog, while the
+        RNG defaults to the same fresh seed an unwired context would use
+        (bit-identical series with the pre-engine harness).
+        """
+        if isinstance(strategy, str):
+            strategy = SimilarityStrategy.from_name(strategy)
+        if catalog is None:
+            primary = getattr(self, "ctx", None)
+            catalog = primary.catalog if primary is not None else None
+        return OperatorContext(
+            self.network,
+            strategy=strategy,
+            filters=self._filters,
+            rng=rng,
+            naive_memo=self.naive_memo,
+            naive_sample_rate=(
+                self.naive_sample_rate
+                if naive_sample_rate is None
+                else naive_sample_rate
+            ),
+            verifier_pool=self.verifier_pool,
+            gram_scan_memo=self.gram_scan_memo,
+            fetch_memo=self.fetch_memo,
+            catalog=catalog,
+            cost_model=self.cost_model,
+        )
+
+    # -- memo lifecycle -----------------------------------------------------------
+
+    def check_mutations(self) -> bool:
+        """Drop all workload memos if any peer's store changed.
+
+        Compares the network-wide mutation token
+        (:meth:`~repro.overlay.network.PGridNetwork.store_version_token`)
+        against the last reading; called automatically by every recorded
+        operation and by :meth:`insert`.  Returns True when memos were
+        cleared.
+        """
+        token = self.network.store_version_token()
+        if token == self._mutation_token:
+            return False
+        self._mutation_token = token
+        self.clear_memos()
+        return True
+
+    def clear_memos(self) -> None:
+        """Unconditionally drop every whole-workload memo."""
+        for memo in (self.naive_memo, self.gram_scan_memo, self.fetch_memo):
+            if memo is not None:
+                memo.clear()
+
+    # -- data management --------------------------------------------------------------
+
+    def insert(self, triples: Iterable[Triple]) -> int:
+        """Index and place triples; returns the number of entries stored.
+
+        Mutations invalidate the workload memos (checked immediately, and
+        again before every recorded operation).
+        """
+        count = self.network.insert_triples(triples)
+        self.check_mutations()
+        return count
+
+    # -- VQL ----------------------------------------------------------------------------
+
+    def query(self, text: str, initiator_id: int | None = None) -> QueryResult:
+        """Parse, plan and execute a VQL query; records its cost.
+
+        When :meth:`analyze` has been run, plans are ordered by estimated
+        cardinalities from the collected statistics, and adaptive-mode
+        strategy decisions (with predicted and measured cost) ride on
+        ``result.cost.decisions``.
+        """
+        self.check_mutations()
+        result = self.executor.execute_text(text, initiator_id)
+        self._last_cost = result.cost
+        self.stats.record(result.cost)
+        return result
+
+    def analyze(
+        self,
+        attributes: Sequence[str],
+        sample_partitions: int = 4,
+    ) -> "StatisticsCatalog":
+        """Collect overlay statistics for ``attributes`` (cost charged).
+
+        The catalog is retained on the engine's context and consulted by
+        both the cost-based planner and the adaptive strategy selection.
+        Repeated calls merge: each attribute keeps its latest summary.
+        """
+        from repro.query.statistics import collect_statistics
+
+        with self._recorded():
+            collected = collect_statistics(
+                self.ctx, attributes, sample_partitions
+            )
+        if self.ctx.catalog is None:
+            self.ctx.catalog = collected
+        else:
+            # Merge in place: contexts handed out before this call share
+            # the catalog object by reference and must see the update.
+            self.ctx.catalog.by_attribute.update(collected.by_attribute)
+        return self.ctx.catalog
+
+    def explain(self, text: str) -> str:
+        """The physical plan VQL text would execute, without running it."""
+        from repro.query.parser import parse
+        from repro.query.planner import plan
+
+        return plan(parse(text), self.ctx.catalog).explain()
+
+    # -- cost model access -------------------------------------------------------------
+
+    def predict_similar(
+        self, search: str, attribute: str, d: int
+    ) -> dict[str, "object"]:
+        """Per-strategy cost predictions for one similarity query."""
+        return self.cost_model.predict_all(
+            search, attribute, d, catalog=self.ctx.catalog
+        )
+
+    def last_decisions(self) -> list[StrategyDecision]:
+        """Adaptive decisions of the most recent recorded operation."""
+        return list(self._last_cost.decisions)
+
+    # -- direct operator access ------------------------------------------------------------
+
+    def similar(
+        self,
+        search: str,
+        attribute: str,
+        d: int,
+        strategy: SimilarityStrategy | str | None = None,
+    ) -> SimilarResult:
+        """``Similar(s, a, d)`` — instance level; ``attribute=''`` for schema."""
+        if isinstance(strategy, str):
+            strategy = SimilarityStrategy.from_name(strategy)
+        with self._recorded():
+            return similar(self.ctx, search, attribute, d, strategy=strategy)
+
+    def similar_numeric(
+        self, attribute: str, center: float, distance: float
+    ) -> list[MatchedObject]:
+        """Numeric similarity: values within ``distance`` of ``center``."""
+        with self._recorded():
+            return numeric_similar(self.ctx, attribute, center, distance)
+
+    def sim_join(
+        self, left_attribute: str, right_attribute: str, d: int, **kwargs
+    ) -> SimJoinResult:
+        """``SimJoin(ln, rn, d)`` over the full left column (Algorithm 3)."""
+        with self._recorded():
+            return sim_join(self.ctx, left_attribute, right_attribute, d, **kwargs)
+
+    def sim_join_anchored(
+        self, left_attribute: str, search: str, right_attribute: str, d: int
+    ) -> SimJoinResult:
+        """The evaluation workload's anchored similarity join."""
+        with self._recorded():
+            return anchored_sim_join(
+                self.ctx, left_attribute, search, right_attribute, d
+            )
+
+    def top_n(
+        self,
+        attribute: str,
+        n: int,
+        rank: RankFunction | str = RankFunction.NN,
+        reference: float = 0.0,
+    ) -> TopNResult:
+        """Numeric top-N (Algorithm 4) with MIN/MAX/NN ranking."""
+        if isinstance(rank, str):
+            rank = RankFunction(rank.upper())
+        with self._recorded():
+            return top_n_numeric(
+                self.ctx, attribute, n, rank, reference, fetch_full_objects=True
+            )
+
+    def top_n_string(
+        self, attribute: str, search: str, n: int, max_distance: int = 5
+    ) -> TopNResult:
+        """String nearest-neighbour top-N (iterative deepening)."""
+        with self._recorded():
+            return top_n_string_nn(self.ctx, attribute, search, n, max_distance)
+
+    def lookup(self, oid: str) -> tuple[Triple, ...]:
+        """Fetch the complete object stored under ``key(oid)``."""
+        with self._recorded():
+            return lookup_object(self.ctx, oid)
+
+    def select(self, attribute: str, value: ValueType) -> list[MatchedObject]:
+        """Exact selection ``attribute = value``."""
+        with self._recorded():
+            return select_equals(self.ctx, attribute, value)
+
+    def keyword(self, value: ValueType) -> list[Triple]:
+        """Keyword query: triples with ``value`` under any attribute."""
+        with self._recorded():
+            return keyword_lookup(self.ctx, value)
+
+    # -- introspection -------------------------------------------------------------------------
+
+    @property
+    def n_peers(self) -> int:
+        return self.network.n_peers
+
+    @property
+    def catalog(self) -> "StatisticsCatalog | None":
+        """The statistics catalog consulted by planner and cost model."""
+        return self.ctx.catalog
+
+    @catalog.setter
+    def catalog(self, value: "StatisticsCatalog | None") -> None:
+        self.ctx.catalog = value
+
+    def last_cost(self) -> CostReport:
+        """Cost of the most recent recorded operation."""
+        return self._last_cost
+
+    @contextmanager
+    def _recorded(self):
+        """Charge the wrapped operation's message delta to ``stats``.
+
+        Also re-checks the mutation token (memo validity) and attaches
+        any adaptive decisions taken during the operation to the
+        resulting :class:`CostReport`.
+        """
+        self.check_mutations()
+        before = self.network.tracer.snapshot()
+        decision_mark = len(self.ctx.decision_log)
+        try:
+            yield
+        finally:
+            after = self.network.tracer.snapshot()
+            cost = CostReport.from_delta(before, after)
+            cost.decisions = list(self.ctx.decision_log[decision_mark:])
+            self._last_cost = cost
+            self.stats.record(cost)
+
+    _last_cost: CostReport = CostReport(messages=0, payload_bytes=0)

@@ -151,6 +151,14 @@ class CostReport:
     payload_bytes: int
     by_type: dict[str, int] = field(default_factory=dict)
     by_phase: dict[str, int] = field(default_factory=dict)
+    #: Adaptive-strategy decisions taken while this cost accrued — a list
+    #: of :class:`repro.query.cost.StrategyDecision` (untyped here to keep
+    #: the accounting layer free of query-layer imports).  Empty for
+    #: fixed-strategy runs; populated by the executor / workload runner
+    #: whenever ``SimilarityStrategy.ADAPTIVE`` resolved a query, each
+    #: entry carrying the chosen strategy plus its predicted and measured
+    #: message/byte cost.
+    decisions: list = field(default_factory=list)
 
     @classmethod
     def from_delta(cls, before: TraceSnapshot, after: TraceSnapshot) -> "CostReport":

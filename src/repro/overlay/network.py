@@ -396,3 +396,14 @@ class PGridNetwork:
     def total_payload_bytes(self) -> int:
         """Total stored payload bytes across all peers (cached per store)."""
         return sum(peer.store.total_payload_bytes() for peer in self.peers)
+
+    def store_version_token(self) -> int:
+        """Sum of all peers' store mutation counters.
+
+        Store versions only ever increase, so the sum is a monotone
+        network-wide mutation token: equality with an earlier reading
+        proves no peer's store changed in between.  The
+        :class:`~repro.engine.QueryEngine` compares it to decide when its
+        whole-workload memos must be dropped.
+        """
+        return sum(peer.store.version for peer in self.peers)

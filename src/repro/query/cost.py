@@ -1,0 +1,350 @@
+"""Cost-based strategy selection — the paper's deferred "ongoing work".
+
+Section 6 leaves the naive-vs-q-gram choice open: "which of these two
+approaches, or any other, more sophisticated, strategy, is used is a
+choice depending on cost optimizations, which is part of our ongoing
+work".  :mod:`repro.query.statistics` already collects the selectivity
+summaries that remark calls for; this module consumes them:
+
+* :class:`StrategyCostModel` predicts, for one ``Similar(s, a, d)``
+  query, the **messages**, **payload bytes** and **latency** each
+  physical strategy would spend — from the overlay's structure (region
+  size, expected routing depth), the collected
+  :class:`~repro.query.statistics.StatisticsCatalog`, and the latency
+  constants of :mod:`repro.bench.latency`;
+* :meth:`StrategyCostModel.choose` resolves
+  ``SimilarityStrategy.ADAPTIVE`` into a concrete strategy and returns a
+  :class:`StrategyDecision` recording every prediction; the operator
+  fills in the measured cost after running, so predicted-vs-actual
+  accuracy is inspectable on every
+  :class:`~repro.overlay.messages.CostReport`.
+
+The model is deliberately *coarse*: closed-form expectations over a
+balanced trie (``0.5·log2`` routing walks, balls-into-bins partition
+fan-out), not a simulation.  What the adaptive mode needs is the
+*ordering* of the strategies and the crossover point where the naive
+broadcast's Θ(region) cost overtakes the q-gram strategies' logarithmic
+lookups — which these formulas capture by construction.  Without a
+catalog (or for attributes never analyzed) all data-dependent terms fall
+back to zero and the decision degrades to the structural comparison:
+region size versus gram fan-out, still a sane default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.config import SimilarityStrategy
+from repro.core.errors import ExecutionError
+from repro.storage.qgrams import positional_qgrams, qgram_sample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.bench.latency import LatencyModel
+    from repro.overlay.network import PGridNetwork
+    from repro.query.statistics import StatisticsCatalog
+
+#: Strategies the adaptive mode chooses among, in tie-break order
+#: (cheapest-first expectation at scale; ties resolve to the earliest).
+CANDIDATE_STRATEGIES = (
+    SimilarityStrategy.QSAMPLE,
+    SimilarityStrategy.QGRAM,
+    SimilarityStrategy.NAIVE,
+)
+
+#: Fixed per-message header charged by delegations (mirrors
+#: ``repro.query.operators.base.QUERY_HEADER_BYTES`` without importing
+#: the operator layer).
+QUERY_HEADER_BYTES = 24
+
+#: Assumed wire size of an oid string (the workloads mint ``w:0042``-ish).
+OID_BYTES = 8
+
+#: Fixed per-triple overhead assumed when estimating reconstructed-object
+#: payloads (attribute name + framing around the value).
+TRIPLE_OVERHEAD_BYTES = 16
+
+#: Triples per object assumed when no better information exists.
+TRIPLES_PER_OBJECT = 2.0
+
+
+@dataclass(frozen=True)
+class CostPrediction:
+    """Predicted cost of one query under one physical strategy."""
+
+    strategy: SimilarityStrategy
+    messages: float
+    payload_bytes: float
+    latency_ms: float
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready view (used by bench reports and the shell)."""
+        return {
+            "messages": round(self.messages, 1),
+            "payload_bytes": round(self.payload_bytes, 1),
+            "latency_ms": round(self.latency_ms, 2),
+        }
+
+
+@dataclass
+class StrategyDecision:
+    """One adaptive resolution: what was predicted, chosen, and measured.
+
+    Created by :meth:`StrategyCostModel.choose` when a query runs in
+    ``ADAPTIVE`` mode; the similarity operator fills ``actual_messages``
+    / ``actual_payload_bytes`` from the tracer delta of the dispatched
+    run, and the executor / workload runner attaches the finished
+    decision to the query's :class:`~repro.overlay.messages.CostReport`.
+    """
+
+    search: str
+    attribute: str
+    d: int
+    chosen: SimilarityStrategy
+    predictions: dict[str, CostPrediction] = field(default_factory=dict)
+    actual_messages: int | None = None
+    actual_payload_bytes: int | None = None
+
+    @property
+    def predicted(self) -> CostPrediction:
+        """The prediction for the chosen strategy."""
+        return self.predictions[self.chosen.value]
+
+    def record_actual(self, messages: int, payload_bytes: int) -> None:
+        """Fill in the measured cost of the dispatched run."""
+        self.actual_messages = messages
+        self.actual_payload_bytes = payload_bytes
+
+    def summary(self) -> str:
+        """One-line human-readable form (shell / smoke output)."""
+        predicted = self.predicted
+        actual = (
+            f"{self.actual_messages}"
+            if self.actual_messages is not None
+            else "?"
+        )
+        return (
+            f"Similar({self.search!r}, {self.attribute!r}, d={self.d}) -> "
+            f"{self.chosen.value} "
+            f"(predicted {predicted.messages:.0f} msgs, actual {actual})"
+        )
+
+
+class StrategyCostModel:
+    """Per-strategy cost predictions over one network.
+
+    The model is stateless apart from the network handle and the latency
+    constants; the statistics catalog is passed per call so a freshly
+    ``analyze``-d catalog is always the one consulted.
+    """
+
+    def __init__(
+        self,
+        network: "PGridNetwork",
+        latency_model: "LatencyModel | None" = None,
+    ):
+        self.network = network
+        if latency_model is None:
+            from repro.bench.latency import LatencyModel
+
+            latency_model = LatencyModel()
+        self.latency_model = latency_model
+
+    # -- structural expectations -----------------------------------------------
+
+    def _route_hops(self) -> float:
+        """Expected ROUTE messages of one routed walk (Section 2)."""
+        return 0.5 * math.log2(max(2, self.network.n_partitions))
+
+    def _region_size(self, attribute: str) -> int:
+        """Partitions holding the attribute's values (all, for schema level)."""
+        if attribute == "":
+            return self.network.n_partitions
+        prefix = self.network.codec.attr_prefix(attribute)
+        return max(1, len(self.network.partitions_under(prefix)))
+
+    @staticmethod
+    def _distinct_partitions(partitions: int, keys: float) -> float:
+        """Expected distinct partitions hit by ``keys`` uniform keys."""
+        if partitions <= 0 or keys <= 0:
+            return 0.0
+        return partitions * (1.0 - (1.0 - 1.0 / partitions) ** keys)
+
+    def _fetch_messages(self, objects: float) -> float:
+        """Expected messages of one batched ``fetch_objects`` round."""
+        if objects <= 0:
+            return 0.0
+        oid_partitions = self._distinct_partitions(
+            self.network.n_partitions, objects
+        )
+        # route_many entry walk + forwards, one delegate and one result
+        # return per contacted oid partition.
+        return self._route_hops() + 3.0 * oid_partitions - 1.0
+
+    # -- per-strategy predictions ------------------------------------------------
+
+    def predict(
+        self,
+        s: str,
+        attribute: str,
+        d: int,
+        strategy: SimilarityStrategy,
+        catalog: "StatisticsCatalog | None" = None,
+    ) -> CostPrediction:
+        """Predicted cost of ``Similar(s, attribute, d)`` under ``strategy``."""
+        stats = catalog.get(attribute) if catalog is not None else None
+        if strategy is SimilarityStrategy.NAIVE:
+            return self._predict_naive(s, attribute, d, stats)
+        if strategy in (SimilarityStrategy.QGRAM, SimilarityStrategy.QSAMPLE):
+            return self._predict_gram(s, attribute, d, strategy, stats)
+        raise ExecutionError(f"cannot predict cost of strategy {strategy}")
+
+    def predict_all(
+        self,
+        s: str,
+        attribute: str,
+        d: int,
+        catalog: "StatisticsCatalog | None" = None,
+    ) -> dict[str, CostPrediction]:
+        """Predictions for every candidate strategy, keyed by value."""
+        return {
+            strategy.value: self.predict(s, attribute, d, strategy, catalog)
+            for strategy in CANDIDATE_STRATEGIES
+        }
+
+    def choose(
+        self,
+        s: str,
+        attribute: str,
+        d: int,
+        catalog: "StatisticsCatalog | None" = None,
+    ) -> StrategyDecision:
+        """Resolve ``ADAPTIVE`` into the cheapest predicted strategy."""
+        predictions = self.predict_all(s, attribute, d, catalog)
+        chosen = min(
+            CANDIDATE_STRATEGIES,
+            key=lambda strategy: (
+                predictions[strategy.value].messages,
+                predictions[strategy.value].payload_bytes,
+            ),
+        )
+        return StrategyDecision(
+            search=s,
+            attribute=attribute,
+            d=d,
+            chosen=chosen,
+            predictions=predictions,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _expected_matches(self, stats, d: int) -> float:
+        return stats.estimate_similarity_rows(d) if stats is not None else 0.0
+
+    def _object_bytes(self, stats) -> float:
+        """Assumed payload of one reconstructed object."""
+        mean_len = (
+            stats.mean_string_length if stats is not None else 8.0
+        ) or 8.0
+        return TRIPLES_PER_OBJECT * (mean_len + TRIPLE_OVERHEAD_BYTES)
+
+    def _predict_naive(self, s, attribute, d, stats) -> CostPrediction:
+        region = self._region_size(attribute)
+        matches = self._expected_matches(stats, d)
+        hops = self._route_hops()
+        # Routed entry, shower forwards, one query copy per region peer,
+        # one result return per matching partition, then the initiator's
+        # batched object fetch.
+        messages = (
+            hops
+            + (region - 1)
+            + region
+            + min(region, matches)
+            + self._fetch_messages(matches)
+        )
+        payload = (
+            region * (QUERY_HEADER_BYTES + len(s))
+            + matches * (OID_BYTES + self._mean_value_len(stats, s) + 2)
+            + matches * self._object_bytes(stats)
+        )
+        rows = stats.row_count if stats is not None else 0
+        per_peer = rows / region if region else 0.0
+        latency = (
+            self.latency_model.network_time_ms(
+                self.network.n_partitions, math.ceil(math.log2(max(2, region)))
+            )
+            + self.latency_model.compute_time_ms(int(per_peer))
+        )
+        return CostPrediction(
+            SimilarityStrategy.NAIVE, messages, payload, latency
+        )
+
+    def _predict_gram(self, s, attribute, d, strategy, stats) -> CostPrediction:
+        q = self.network.config.q
+        if strategy is SimilarityStrategy.QSAMPLE:
+            grams = qgram_sample(s, q, d)
+        else:
+            grams = positional_qgrams(s, q)
+        gram_keys = len({gram.gram for gram in grams})
+        region = self._region_size(attribute)
+        gram_partitions = max(
+            1.0, self._distinct_partitions(region, gram_keys)
+        )
+        postings = stats.estimate_gram_postings() if stats is not None else 0.0
+        candidates = gram_keys * postings * self._filter_selectivity(stats, s, d, q)
+        if stats is not None:
+            candidates = min(candidates, float(stats.row_count))
+        matches = self._expected_matches(stats, d)
+
+        hops = self._route_hops()
+        # Batched gram lookups: entry walk + forwards + one delegation per
+        # contacted gram partition.
+        messages = hops + 2.0 * gram_partitions - 1.0
+        payload = gram_partitions * (
+            QUERY_HEADER_BYTES + sum(len(gram.gram) for gram in grams)
+        )
+        if candidates > 0:
+            delegating = min(gram_partitions, candidates)
+            oid_partitions = self._distinct_partitions(
+                self.network.n_partitions, candidates
+            )
+            # Each delegating gram peer runs one batched walk; delegation
+            # messages are (gram peer, oid partition) pairs; only fresh
+            # partitions answer.
+            delegations = min(candidates, delegating * oid_partitions)
+            messages += delegating * hops + delegations + oid_partitions
+            payload += delegations * (QUERY_HEADER_BYTES + len(s) + OID_BYTES)
+            payload += min(candidates, max(matches, 1.0)) * self._object_bytes(
+                stats
+            )
+        dissemination = math.ceil(math.log2(max(2, gram_partitions))) + 1
+        per_peer = candidates / gram_partitions if gram_partitions else 0.0
+        latency = (
+            self.latency_model.network_time_ms(
+                self.network.n_partitions, dissemination
+            )
+            + self.latency_model.compute_time_ms(math.ceil(per_peer))
+        )
+        return CostPrediction(strategy, messages, payload, latency)
+
+    @staticmethod
+    def _mean_value_len(stats, s: str) -> float:
+        if stats is not None and stats.mean_string_length:
+            return stats.mean_string_length
+        return float(len(s))
+
+    @staticmethod
+    def _filter_selectivity(stats, s: str, d: int, q: int) -> float:
+        """Fraction of a gram key's postings the position/length filters admit.
+
+        Both filters are ``|gap| <= d`` windows: position over the
+        extended string's ``L + q - 1`` gram slots, length over the value
+        lengths.  Modelled as one shared window of width ``2d + 1`` over
+        the positional slots — coarse, but monotone in ``d`` and
+        vanishing for long values, which is what separates filtered gram
+        scans from the naive everything-compares regime.
+        """
+        mean_len = StrategyCostModel._mean_value_len(stats, s)
+        slots = max(1.0, mean_len + q - 1)
+        return min(1.0, (2.0 * d + 1.0) / slots)

@@ -93,19 +93,27 @@ class Executor:
         """Plan and execute a query AST.
 
         ``catalog`` (a :class:`~repro.query.statistics.StatisticsCatalog`)
-        switches the planner to cost-based ordering.
+        switches the planner to cost-based ordering; when omitted, the
+        context's catalog (installed by
+        :meth:`repro.engine.QueryEngine.analyze`) is used.
         """
+        if catalog is None:
+            catalog = self.ctx.catalog
         query_plan = build_plan(query, catalog)
         if initiator_id is None:
             initiator_id = self.ctx.random_initiator()
+        decision_mark = len(self.ctx.decision_log)
         before = self.ctx.network.tracer.snapshot()
         bindings = self._run_with_overfetch(query_plan, initiator_id)
         rows = self._finalize(query, bindings)
         after = self.ctx.network.tracer.snapshot()
+        cost = CostReport.from_delta(before, after)
+        # Adaptive-mode strategy resolutions taken while this query ran.
+        cost.decisions = list(self.ctx.decision_log[decision_mark:])
         return QueryResult(
             rows=rows,
             plan=query_plan,
-            cost=CostReport.from_delta(before, after),
+            cost=cost,
             bindings=bindings,
         )
 

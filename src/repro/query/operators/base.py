@@ -36,8 +36,10 @@ from repro.storage.indexing import EntryKind
 from repro.storage.triple import Triple, ValueType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.cost import StrategyCostModel, StrategyDecision
     from repro.query.operators.naive import NaiveWorkloadMemo
     from repro.query.operators.similar import GramScanMemo
+    from repro.query.statistics import StatisticsCatalog
 
 #: Baseline size in bytes of a delegated query description (search string,
 #: attribute, distance, query id).  Added to delegation payloads.
@@ -100,6 +102,20 @@ class OperatorContext:
     #: :class:`repro.query.operators.similar.GramScanMemo`).  ``None``
     #: disables it; like ``naive_memo``, valid only over static stores.
     gram_scan_memo: "GramScanMemo | None" = None
+    #: Whole-workload memo for per-oid object reconstruction (see
+    #: :class:`FetchObjectsMemo`).  ``None`` disables it; same
+    #: static-store contract and version enforcement as the other memos.
+    fetch_memo: "FetchObjectsMemo | None" = None
+    #: Statistics catalog consulted by the cost-based planner and the
+    #: adaptive strategy resolution.  ``None`` keeps both structural.
+    catalog: "StatisticsCatalog | None" = None
+    #: Cost model resolving ``SimilarityStrategy.ADAPTIVE``; created
+    #: lazily on first adaptive query when not injected.
+    cost_model: "StrategyCostModel | None" = None
+    #: Every adaptive resolution taken through this context, in order.
+    #: The executor and the workload runner attach slices of this log to
+    #: the corresponding :class:`~repro.overlay.messages.CostReport`.
+    decision_log: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.strategy is None:
@@ -125,7 +141,34 @@ class OperatorContext:
         """Pick a random online peer to initiate a query."""
         return self.network.random_peer_id(self.rng)
 
+    # -- adaptive strategy resolution ---------------------------------------------
+
+    def decide_strategy(self, s: str, attribute: str, d: int) -> "StrategyDecision":
+        """Resolve ``ADAPTIVE`` for one query and record the decision.
+
+        Builds a structural :class:`~repro.query.cost.StrategyCostModel`
+        on first use when none was injected (the no-statistics fallback:
+        predictions degrade to region-vs-gram-fan-out comparisons), and
+        appends the decision to :attr:`decision_log` so cost reports can
+        pick it up.
+        """
+        if self.cost_model is None:
+            from repro.query.cost import StrategyCostModel
+
+            self.cost_model = StrategyCostModel(self.network)
+        decision = self.cost_model.choose(s, attribute, d, catalog=self.catalog)
+        self.decision_log.append(decision)
+        return decision
+
     # -- object reconstruction ---------------------------------------------------
+
+    def reconstruct_object(
+        self, peer, partition_index: int, key: str, oid: str
+    ) -> tuple[Triple, ...]:
+        """One oid peer's rebuild of a complete object (memoized when set)."""
+        if self.fetch_memo is not None:
+            return self.fetch_memo.triples_for(peer, partition_index, key, oid)
+        return _rebuild_triples(peer, key, oid)
 
     def fetch_objects(
         self,
@@ -174,21 +217,13 @@ class OperatorContext:
             fresh_triples: list[Triple] = []
             for key in keys:
                 oid = key_to_oid[key]
-                entries = peer.store.lookup(key)
-                triples = tuple(
-                    sorted(
-                        {
-                            e.triple
-                            for e in entries
-                            if e.kind is EntryKind.OID and e.triple.oid == oid
-                        },
-                        key=lambda t: (t.attribute, str(t.value)),
-                    )
+                partition = self.network.partition_for(key)
+                triples = self.reconstruct_object(
+                    peer, partition.index, key, oid
                 )
                 if not triples:
                     continue
                 objects[oid] = triples
-                partition = self.network.partition_for(key)
                 if seen_partitions is not None:
                     signature = (partition.index, oid)
                     if signature in seen_partitions:
@@ -199,6 +234,79 @@ class OperatorContext:
                 payload = sum(t.payload_size() for t in fresh_triples)
                 router.send_result(peer_id, initiator_id, payload, phase=phase)
         return objects
+
+
+def _rebuild_triples(peer, key: str, oid: str) -> tuple[Triple, ...]:
+    """The complete-object rebuild an oid peer performs for one request."""
+    return tuple(
+        sorted(
+            {
+                e.triple
+                for e in peer.store.lookup(key)
+                if e.kind is EntryKind.OID and e.triple.oid == oid
+            },
+            key=lambda t: (t.attribute, str(t.value)),
+        )
+    )
+
+
+class FetchObjectsMemo:
+    """Whole-workload memo of per-oid object reconstruction.
+
+    Every similarity strategy ends with the same step: oid peers rebuild
+    complete objects from their ``key(oid)`` entries (Algorithm 2's
+    "build complete object o from T'").  A benchmark workload requests
+    the same oids over and over — top-N deepening rounds re-fetch every
+    round's survivors, join probes re-fetch shared matches, and the
+    q-gram strategies re-fetch per delegating gram peer — so the rebuild
+    (a posting lookup plus a sorted dedup) is memoized per
+    ``(partition, oid key)`` under the same static-store contract as
+    :class:`~repro.query.operators.similar.GramScanMemo`:
+
+    * outcomes are keyed per *partition* (replicas store identical data),
+      so hits are independent of which replica answered;
+    * every cached rebuild records the scanned store's mutation counter
+      (:attr:`LocalDataStore.version
+      <repro.storage.datastore.LocalDataStore>`) and recomputes when the
+      contacted replica reports any other version — and the owning
+      :class:`~repro.engine.QueryEngine` clears the memo outright when
+      its network-wide mutation check trips;
+    * it is *cost-transparent*: delegation and result messages are
+      charged from the reconstructed triples, which are identical cached
+      or not, so measured message/byte series do not change (pinned by
+      tests).
+    """
+
+    def __init__(self, network):
+        self.network = network
+        self._cache: dict[tuple, tuple[int, tuple[Triple, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def triples_for(
+        self, peer, partition_index: int, key: str, oid: str
+    ) -> tuple[Triple, ...]:
+        """The object stored under ``key``, rebuilt once per partition."""
+        signature = (partition_index, key, oid)
+        cached = self._cache.get(signature)
+        if cached is not None and cached[0] != peer.store.version:
+            self.invalidations += 1
+            cached = None
+        if cached is None:
+            self.misses += 1
+            cached = (peer.store.version, _rebuild_triples(peer, key, oid))
+            self._cache[signature] = cached
+        else:
+            self.hits += 1
+        return cached[1]
+
+    def clear(self) -> None:
+        """Drop all cached rebuilds (call after any data mutation)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 def object_from_triples(triples: Sequence[Triple]) -> dict[str, list[ValueType]]:

@@ -56,6 +56,21 @@ def similar_collected(
     if d < 0:
         raise ExecutionError(f"similarity distance must be >= 0, got {d}")
     chosen = strategy if strategy is not None else ctx.strategy
+    if chosen is SimilarityStrategy.ADAPTIVE:
+        # Same cost-based resolution as ``similar``: dispatch the
+        # cheapest predicted strategy and record predicted-vs-actual on
+        # the decision.
+        decision = ctx.decide_strategy(s, attribute, d)
+        tracer = ctx.network.tracer
+        before = tracer.snapshot()
+        result = similar_collected(
+            ctx, s, attribute, d, initiator_id,
+            strategy=decision.chosen, use_count_filter=use_count_filter,
+        )
+        delta = before.delta(tracer.snapshot())
+        decision.record_actual(delta.messages, delta.payload_bytes)
+        result.extras["adaptive"] = 1
+        return result
     if chosen is SimilarityStrategy.NAIVE:
         from repro.query.operators.naive import naive_similar
 

@@ -180,17 +180,20 @@ _CROSS_PRODUCT_PENALTY = 10
 def plan(query: SelectQuery, catalog=None) -> QueryPlan:
     """Build an executable plan for ``query``.
 
-    With a :class:`~repro.query.statistics.StatisticsCatalog`, step
-    ordering uses estimated result cardinalities instead of the static
-    method ranks — the cost-based mode the paper leaves as ongoing work.
+    With a :class:`~repro.query.statistics.StatisticsCatalog` holding at
+    least one attribute summary, step ordering uses estimated result
+    cardinalities instead of the static method ranks — the cost-based
+    mode the paper leaves as ongoing work.  An empty catalog (fresh
+    engine, ``analyze`` not yet run) behaves exactly like no catalog.
     """
     remaining_filters = list(query.filters)
     annotated: list[PlanStep] = []
+    use_estimates = catalog is not None and catalog.by_attribute
     for pattern in query.patterns:
         step, used = _classify(pattern, remaining_filters, query)
         for comparison in used:
             remaining_filters.remove(comparison)
-        if catalog is not None:
+        if use_estimates:
             step.estimated_rows = _estimate_rows(step, catalog)
         annotated.append(step)
 

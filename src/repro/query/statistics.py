@@ -45,6 +45,11 @@ class AttributeStatistics:
     mean_string_length: float = 0.0
     string_rows: int = 0
     numeric_rows: int = 0
+    #: Stored instance-gram entries for this attribute (extrapolated like
+    #: ``row_count``) and the distinct gram texts seen — the cost model's
+    #: handle on q-gram posting-list lengths.
+    gram_rows: int = 0
+    distinct_gram_estimate: int = 0
 
     @property
     def is_numeric(self) -> bool:
@@ -81,6 +86,17 @@ class AttributeStatistics:
                 continue
             rows += bucket * min(1.0, overlap / width)
         return rows
+
+    def estimate_gram_postings(self) -> float:
+        """Expected posting-list length of one instance-gram key.
+
+        Gram entries spread over the distinct gram texts of the
+        attribute's values; with no gram statistics the estimate falls
+        back to zero, which keeps the cost model purely structural.
+        """
+        if self.distinct_gram_estimate <= 0:
+            return 0.0
+        return self.gram_rows / self.distinct_gram_estimate
 
     def estimate_similarity_rows(self, d: int) -> float:
         """Expected rows within edit distance ``d`` of a random string.
@@ -154,6 +170,8 @@ def _collect_one(
     values_numeric: list[float] = []
     lengths: list[int] = []
     distinct: set = set()
+    distinct_grams: set = set()
+    gram_rows = 0
     entry_peer = ctx.router.route(sampled[0].path, initiator_id, phase="stats")
     previous = entry_peer
     for partition in sampled:
@@ -169,9 +187,13 @@ def _collect_one(
             previous = peer
         local = 0
         for entry in peer.store.prefix_scan(prefix):
-            if entry.kind is not EntryKind.ATTR_VALUE:
-                continue
             if entry.triple.attribute != attribute:
+                continue
+            if entry.kind is EntryKind.INSTANCE_GRAM:
+                gram_rows += 1
+                distinct_grams.add(entry.gram)
+                continue
+            if entry.kind is not EntryKind.ATTR_VALUE:
                 continue
             local += 1
             value = entry.triple.value
@@ -187,6 +209,17 @@ def _collect_one(
     scale = 1.0 / fraction if fraction > 0 else 1.0
     stats.row_count = int(round(stats.row_count * scale))
     stats.distinct_estimate = max(1, int(round(len(distinct) * scale)))
+    stats.gram_rows = int(round(gram_rows * scale))
+    # Gram entries are keyed by gram text, so disjoint partitions hold
+    # disjoint gram sets and the distinct count extrapolates linearly —
+    # exactly like ``gram_rows``.  Keeping the raw sampled count instead
+    # would divide a region-wide numerator by a few-partitions
+    # denominator and overstate posting lists by orders of magnitude
+    # (pushing the cost model toward naive broadcasts).  The resulting
+    # postings estimate is the within-sample rows-per-gram ratio, which
+    # is frequency-weighted — the right weighting for grams of query
+    # strings drawn from the stored corpus.
+    stats.distinct_gram_estimate = max(1, int(round(len(distinct_grams) * scale)))
     stats.numeric_rows = int(round(len(values_numeric) * scale))
     stats.string_rows = int(round(len(lengths) * scale))
     if values_numeric:

@@ -1,7 +1,8 @@
 """Interactive VQL shell — ``python -m repro.shell``.
 
-A small REPL over a :class:`~repro.core.store.VerticalStore` for poking at
-the system: load a demo dataset, type VQL, inspect plans and costs.
+A small REPL over a :class:`~repro.engine.QueryEngine` for poking at the
+system: load a demo dataset, type VQL, inspect plans, costs, and the
+adaptive strategy decisions.
 
 Commands (everything else is executed as VQL):
 
@@ -10,19 +11,25 @@ Commands (everything else is executed as VQL):
 ``.load cars [N]``     load the car/dealer demo database (default 200 cars)
 ``.load words [N]``    load N synthetic bible words (default 2000)
 ``.peers N``           rebuild the network with N peers (data reloads)
-``.strategy NAME``     qgrams | qsamples | strings
-``.analyze A [B ...]`` collect statistics for cost-based planning
+``.strategy NAME``     qgrams | qsamples | strings | adaptive
+``.analyze A [B ...]`` collect statistics (cost-based planning + cost model)
+``.predict S A D``     per-strategy cost predictions for Similar(S, A, D)
 ``.explain QUERY``     show the physical plan without executing
 ``.stats``             session cost ledger
 ``.quit``              leave
 =====================  ====================================================
+
+In ``adaptive`` mode every similarity query is resolved by the cost
+model; the chosen strategy and its predicted-vs-actual message cost are
+printed with the query result (they ride on the
+:class:`~repro.overlay.messages.CostReport`).
 """
 
 from __future__ import annotations
 
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.core.errors import ReproError
-from repro.core.store import VerticalStore
+from repro.engine import QueryEngine
 
 
 class Shell:
@@ -32,7 +39,12 @@ class Shell:
         self.n_peers = n_peers
         self.seed = seed
         self.dataset: tuple[str, int] | None = None
-        self.store = VerticalStore.build(n_peers, config=StoreConfig(seed=seed))
+        self.engine = QueryEngine.build(n_peers, config=StoreConfig(seed=seed))
+
+    #: Backwards-compatible alias (earlier shells exposed ``.store``).
+    @property
+    def store(self) -> QueryEngine:
+        return self.engine
 
     def execute(self, line: str) -> str:
         """Run one input line; returns the text to display.
@@ -68,25 +80,36 @@ class Shell:
             return self._rebuild()
         if name == ".strategy":
             if not args:
-                return f"strategy: {self.store.ctx.strategy.value}"
-            self.store.ctx.strategy = SimilarityStrategy.from_name(args[0])
-            return f"strategy set to {self.store.ctx.strategy.value}"
+                return f"strategy: {self.engine.ctx.strategy.value}"
+            self.engine.ctx.strategy = SimilarityStrategy.from_name(args[0])
+            return f"strategy set to {self.engine.ctx.strategy.value}"
         if name == ".analyze":
             if not args:
                 return "usage: .analyze ATTRIBUTE [ATTRIBUTE ...]"
-            catalog = self.store.analyze(args)
+            catalog = self.engine.analyze(args)
             lines = [
                 f"{a}: ~{catalog.get(a).row_count} rows, "
                 f"~{catalog.get(a).distinct_estimate} distinct"
                 for a in catalog.attributes()
             ]
             return "\n".join(lines)
+        if name == ".predict":
+            if len(args) != 3 or not args[2].isdigit():
+                return "usage: .predict SEARCH ATTRIBUTE DISTANCE"
+            predictions = self.engine.predict_similar(
+                args[0], args[1], int(args[2])
+            )
+            return "\n".join(
+                f"{value}: ~{p.messages:.0f} messages, "
+                f"~{p.payload_bytes:.0f} bytes, ~{p.latency_ms:.0f} ms"
+                for value, p in predictions.items()
+            )
         if name == ".explain":
             if not args:
                 return "usage: .explain SELECT ..."
-            return self.store.explain(line.split(None, 1)[1])
+            return self.engine.explain(line.split(None, 1)[1])
         if name == ".stats":
-            return self.store.stats.summary()
+            return self.engine.stats.summary()
         return f"unknown command {name!r} — try .help"
 
     def _load(self, args: list[str]) -> str:
@@ -117,18 +140,20 @@ class Shell:
 
                 triples = bible_triples(count, seed=self.seed)
                 label = f"{count} words"
-        self.store = VerticalStore.build(
-            self.n_peers, triples, StoreConfig(seed=self.seed)
+        strategy = self.engine.ctx.strategy
+        self.engine = QueryEngine.build(
+            self.n_peers, triples, StoreConfig(seed=self.seed),
+            strategy=strategy,
         )
         return (
-            f"network: {self.store.n_peers} peers, {label}, "
-            f"{self.store.network.total_entries()} entries"
+            f"network: {self.engine.n_peers} peers, {label}, "
+            f"{self.engine.network.total_entries()} entries"
         )
 
     # -- queries -------------------------------------------------------------------
 
     def _query(self, text: str) -> str:
-        result = self.store.query(text)
+        result = self.engine.query(text)
         lines = []
         for row in result.rows[:50]:
             lines.append(
@@ -140,6 +165,8 @@ class Shell:
             f"[{len(result.rows)} rows, {result.cost.messages} messages, "
             f"{result.cost.payload_bytes} bytes]"
         )
+        for decision in result.cost.decisions:
+            lines.append(f"[adaptive] {decision.summary()}")
         return "\n".join(lines)
 
 

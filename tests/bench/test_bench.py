@@ -5,7 +5,12 @@ import pytest
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.datasets.bible import TEXT_ATTRIBUTE, bible_triples
 from repro.query.operators.base import OperatorContext
-from repro.bench.experiment import ALL_STRATEGIES, build_network, run_cell
+from repro.bench.experiment import (
+    ALL_STRATEGIES,
+    ALL_WITH_ADAPTIVE,
+    build_network,
+    run_cell,
+)
 from repro.bench.report import PANELS, format_panel, render_csv, shape_check
 from repro.bench.sweep import SweepResult, sweep
 from repro.bench.workload import (
@@ -82,6 +87,59 @@ class TestCell:
             repetitions=1, strategies=(SimilarityStrategy.QSAMPLE,),
         )
         assert set(cell.by_strategy) == {SimilarityStrategy.QSAMPLE}
+
+
+class TestAdaptiveCell:
+    @pytest.fixture(scope="class")
+    def cells(self, corpus, strings):
+        """The same cell with and without the adaptive replay."""
+        fixed = run_cell(
+            corpus, TEXT_ATTRIBUTE, strings, 32,
+            StoreConfig(seed=1), repetitions=1,
+        )
+        with_adaptive = run_cell(
+            corpus, TEXT_ATTRIBUTE, strings, 32,
+            StoreConfig(seed=1), repetitions=1,
+            strategies=ALL_WITH_ADAPTIVE,
+        )
+        return fixed, with_adaptive
+
+    def test_fixed_series_unchanged_by_adaptive_replay(self, cells):
+        """The adaptive replay is strictly additive (runs last)."""
+        fixed, with_adaptive = cells
+        for strategy in ALL_STRATEGIES:
+            assert with_adaptive.by_strategy[strategy].messages == (
+                fixed.by_strategy[strategy].messages
+            )
+            assert with_adaptive.by_strategy[strategy].payload_bytes == (
+                fixed.by_strategy[strategy].payload_bytes
+            )
+
+    def test_adaptive_series_recorded(self, cells):
+        __, with_adaptive = cells
+        adaptive = with_adaptive.by_strategy[SimilarityStrategy.ADAPTIVE]
+        assert adaptive.messages > 0
+        assert with_adaptive.adaptive_stats_messages > 0
+        assert sum(with_adaptive.adaptive_choices.values()) > 0
+        assert set(with_adaptive.adaptive_choices) <= {
+            "qsamples", "qgrams", "strings",
+        }
+
+    def test_adaptive_query_reports_decisions(self, corpus, strings):
+        from repro.engine import QueryEngine
+
+        network = build_network(corpus, 32, StoreConfig(seed=1))
+        engine = QueryEngine(network)
+        ctx = engine.context(strategy=SimilarityStrategy.ADAPTIVE)
+        query = make_workload(strings, 32, repetitions=1, seed=0)[0]
+        cost = run_query(
+            ctx, TEXT_ATTRIBUTE, query, SimilarityStrategy.ADAPTIVE
+        )
+        assert cost.decisions
+        for decision in cost.decisions:
+            assert decision.chosen.is_physical
+            assert decision.predicted.messages > 0
+            assert decision.actual_messages is not None
 
 
 class TestSweepAndReport:

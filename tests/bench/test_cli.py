@@ -58,6 +58,9 @@ class TestCli:
         import repro.bench.micro as micro
 
         monkeypatch.setattr(micro, "MICRO_WORDS", 120)
+        monkeypatch.setattr(micro, "COST_MODEL_WORDS", 80)
+        monkeypatch.setattr(micro, "COST_MODEL_PEERS", 16)
+        monkeypatch.setattr(micro, "COST_MODEL_QUERIES_PER_D", 1)
         monkeypatch.setattr(
             micro, "_time_op", lambda op, **kw: (op() or True)
             and {"seconds_per_call": 0.0, "best_seconds_per_call": 1e-9, "calls": 1},
@@ -76,19 +79,29 @@ class TestCli:
         capsys.readouterr()
         assert status == 0
         fig1 = json.loads((tmp_path / "BENCH_fig1.json").read_text())
-        assert fig1["schema"] == "repro-bench-fig1/v2"
+        assert fig1["schema"] == "repro-bench-fig1/v3"
         cells = fig1["datasets"]["bible"]["cells"]
         assert cells[0]["peers"] == 16
         assert cells[0]["total_entries"] > 0
         assert cells[0]["build_seconds"] >= 0
         assert "naive_sampled" not in cells[0]  # exact by default
         assert fig1["scale"]["naive_sample_rate"] == 0.0
-        assert set(cells[0]["strategies"]) == {"qsamples", "qgrams", "strings"}
+        assert fig1["scale"]["adaptive"] is True
+        assert set(cells[0]["strategies"]) == {
+            "qsamples", "qgrams", "strings", "adaptive",
+        }
         assert all("messages" in s for s in cells[0]["strategies"].values())
+        assert cells[0]["adaptive_stats_messages"] > 0
+        assert sum(cells[0]["adaptive_choices"].values()) > 0
         micro_doc = json.loads((tmp_path / "BENCH_micro.json").read_text())
-        assert micro_doc["schema"] == "repro-bench-micro/v1"
+        assert micro_doc["schema"] == "repro-bench-micro/v2"
         assert "gram_lookup_indexed" in micro_doc["ops"]
         assert "verify_batched_vs_single" in micro_doc["speedups"]
+        accuracy = micro_doc["cost_model"]
+        assert set(accuracy["per_strategy"]) == {
+            "qsamples", "qgrams", "strings",
+        }
+        assert 0.0 <= accuracy["chosen_within_2x_of_best"] <= 1.0
 
     def test_skip_shape_check_masks_findings(self, capsys):
         # Tiny runs often violate the qualitative shapes; the flag must
