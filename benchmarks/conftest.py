@@ -31,11 +31,17 @@ def pytest_collection_modifyitems(items):
     """Mark everything in this directory as ``bench``.
 
     The hook sees the whole session's items, so filter to this
-    directory's before marking.
+    directory's before marking.  Tests that already carry the
+    ``fault_bench`` marker form their own tier and are left alone — a
+    ``-m fault_bench`` run must not drag the figure sweeps in, nor the
+    other way around.
     """
     for item in items:
-        if str(item.fspath).startswith(BENCH_DIR):
-            item.add_marker(pytest.mark.bench)
+        if not str(item.fspath).startswith(BENCH_DIR):
+            continue
+        if item.get_closest_marker("fault_bench") is not None:
+            continue
+        item.add_marker(pytest.mark.bench)
 
 #: Scaled-down sweep parameters (see module docstring).
 PEER_COUNTS = (64, 256, 1024)

@@ -28,13 +28,23 @@ from repro.core.errors import ReproError
 from repro.core.stats import QueryStats
 from repro.core.store import VerticalStore
 from repro.engine import QueryEngine
+from repro.overlay.faults import (
+    Completeness,
+    FaultMode,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.storage.schema import RelationSchema
 from repro.storage.triple import Triple
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Completeness",
+    "FaultMode",
+    "FaultPlan",
     "QueryEngine",
+    "RetryPolicy",
     "QueryStats",
     "RankFunction",
     "RelationSchema",

@@ -25,7 +25,26 @@ class HashingError(ReproError):
 
 
 class OverlayError(ReproError):
-    """The overlay network is in an invalid state."""
+    """The overlay network is in an invalid state.
+
+    Carries optional structured context — *which* partition
+    (``partition_index``/``partition_path``) or peer (``peer_id``) the
+    failure concerns — so degraded-mode handling and tests can branch on
+    the failing location instead of string-matching the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partition_index: int | None = None,
+        partition_path: str | None = None,
+        peer_id: int | None = None,
+    ):
+        super().__init__(message)
+        self.partition_index = partition_index
+        self.partition_path = partition_path
+        self.peer_id = peer_id
 
 
 class RoutingError(OverlayError):

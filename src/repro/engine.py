@@ -48,6 +48,7 @@ from contextlib import contextmanager
 
 from repro.core.config import RankFunction, SimilarityStrategy, StoreConfig
 from repro.core.stats import QueryStats
+from repro.overlay.faults import FaultInjector, FaultMode, FaultPlan, RetryPolicy
 from repro.overlay.messages import CostReport, MessageTracer
 from repro.overlay.network import PGridNetwork
 from repro.query.cost import StrategyCostModel, StrategyDecision
@@ -251,15 +252,58 @@ class QueryEngine:
             if memo is not None:
                 memo.clear()
 
+    # -- transport faults --------------------------------------------------------------
+
+    def install_faults(
+        self,
+        plan: FaultPlan,
+        policy: RetryPolicy | None = None,
+        mode: FaultMode | str | None = None,
+    ) -> FaultInjector:
+        """Put a seeded :class:`FaultPlan` on the network's delivery path.
+
+        ``policy`` tunes retry/backoff/failover (defaults to
+        :class:`RetryPolicy`); ``mode`` optionally switches
+        :attr:`fault_mode` in the same call.  A no-op plan leaves every
+        measured series bit-identical (the injector stays inactive).
+        """
+        injector = self.network.install_faults(plan, policy)
+        if mode is not None:
+            self.fault_mode = mode
+        return injector
+
+    def clear_faults(self) -> None:
+        """Return to the healthy, fault-free transport."""
+        self.network.clear_faults()
+
+    @property
+    def fault_mode(self) -> str:
+        """``"strict"`` (raise on dark partitions) or ``"degraded"``.
+
+        Degraded semantics: when retries and replica failover are
+        exhausted, operators return partial results and the query's
+        :class:`~repro.overlay.messages.CostReport` carries a
+        :class:`~repro.overlay.faults.Completeness` record (covered
+        key-space fraction, dark partitions, dropped candidates) instead
+        of the operation raising.
+        """
+        return self.network.fault_mode.value
+
+    @fault_mode.setter
+    def fault_mode(self, value: FaultMode | str) -> None:
+        self.network.fault_mode = FaultMode.from_name(value)
+
     # -- data management --------------------------------------------------------------
 
-    def insert(self, triples: Iterable[Triple]) -> int:
+    def insert(self, triples: Iterable[Triple], respect_online: bool = False) -> int:
         """Index and place triples; returns the number of entries stored.
 
         Mutations invalidate the workload memos (checked immediately, and
-        again before every recorded operation).
+        again before every recorded operation).  ``respect_online`` skips
+        offline replicas — the churn setting, where inserting while a
+        replica is down leaves it divergent until anti-entropy repair.
         """
-        count = self.network.insert_triples(triples)
+        count = self.network.insert_triples(triples, respect_online=respect_online)
         self.check_mutations()
         return count
 
@@ -274,7 +318,10 @@ class QueryEngine:
         ``result.cost.decisions``.
         """
         self.check_mutations()
+        session = self._begin_fault_session()
         result = self.executor.execute_text(text, initiator_id)
+        if session is not None:
+            result.cost.completeness = session.completeness()
         self._last_cost = result.cost
         self.stats.record(result.cost)
         return result
@@ -428,6 +475,7 @@ class QueryEngine:
         resulting :class:`CostReport`.
         """
         self.check_mutations()
+        session = self._begin_fault_session()
         before = self.network.tracer.snapshot()
         decision_mark = len(self.ctx.decision_log)
         try:
@@ -436,7 +484,16 @@ class QueryEngine:
             after = self.network.tracer.snapshot()
             cost = CostReport.from_delta(before, after)
             cost.decisions = list(self.ctx.decision_log[decision_mark:])
+            if session is not None:
+                cost.completeness = session.completeness()
             self._last_cost = cost
             self.stats.record(cost)
+
+    def _begin_fault_session(self):
+        """Fresh per-query fault bookkeeping, or None on a healthy network."""
+        injector = self.network.fault_injector
+        if injector is None or not injector.active:
+            return None
+        return injector.begin_session()
 
     _last_cost: CostReport = CostReport(messages=0, payload_bytes=0)

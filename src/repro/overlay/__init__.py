@@ -1,6 +1,15 @@
 """P-Grid overlay substrate: keys, hashing, trie, peers, routing, ranges."""
 
 from repro.overlay.churn import ChurnController, ChurnReport
+from repro.overlay.faults import (
+    Completeness,
+    DeliveryOutcome,
+    FaultInjector,
+    FaultMode,
+    FaultPlan,
+    FaultSession,
+    RetryPolicy,
+)
 from repro.overlay.hashing import (
     CompositeKeyCodec,
     NumericKeyCodec,
@@ -22,8 +31,15 @@ __all__ = [
     "BuildReport",
     "ChurnController",
     "ChurnReport",
+    "Completeness",
     "CompositeKeyCodec",
     "CostReport",
+    "DeliveryOutcome",
+    "FaultInjector",
+    "FaultMode",
+    "FaultPlan",
+    "FaultSession",
+    "RetryPolicy",
     "IncrementalNetworkBuilder",
     "assert_networks_equivalent",
     "MessageTracer",

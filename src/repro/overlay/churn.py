@@ -60,11 +60,35 @@ class ChurnController:
             failed.append(peer_id)
         return self._report(failed)
 
-    def fail_peers(self, peer_ids: list[int]) -> ChurnReport:
-        """Take specific peers offline."""
+    def fail_peers(
+        self, peer_ids: list[int], protect_partitions: bool = False
+    ) -> ChurnReport:
+        """Take specific peers offline.
+
+        Ids are validated up front; peers that are already offline are
+        skipped (a scripted scenario cannot silently double-count a
+        failure).  ``protect_partitions`` mirrors :meth:`fail_fraction`:
+        a peer whose partition would go completely dark is left online.
+        The report's ``failed_peer_ids`` lists only the peers this call
+        actually took down.
+        """
+        n_peers = self.network.n_peers
         for peer_id in peer_ids:
-            self.network.peer(peer_id).online = False
-        return self._report(list(peer_ids))
+            if not 0 <= peer_id < n_peers:
+                raise OverlayError(
+                    f"unknown peer id {peer_id} (network has {n_peers} peers)",
+                    peer_id=peer_id,
+                )
+        failed: list[int] = []
+        for peer_id in dict.fromkeys(peer_ids):
+            peer = self.network.peer(peer_id)
+            if not peer.online:
+                continue
+            if protect_partitions and self._is_last_replica(peer_id):
+                continue
+            peer.online = False
+            failed.append(peer_id)
+        return self._report(failed)
 
     def recover_all(self) -> int:
         """Bring every peer back online; returns how many recovered."""

@@ -159,6 +159,14 @@ class CostReport:
     #: entry carrying the chosen strategy plus its predicted and measured
     #: message/byte cost.
     decisions: list = field(default_factory=list)
+    #: Completeness of the answer under transport faults — a
+    #: :class:`repro.overlay.faults.Completeness` (untyped here, like
+    #: ``decisions``, to keep the accounting layer dependency-free).
+    #: ``None`` whenever no active fault injector is installed; under an
+    #: active plan it records the covered key-space fraction, the dark
+    #: partitions, dropped candidates, and the retry/failover tallies of
+    #: this operation.
+    completeness: object | None = None
 
     @classmethod
     def from_delta(cls, before: TraceSnapshot, after: TraceSnapshot) -> "CostReport":

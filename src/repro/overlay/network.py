@@ -24,6 +24,7 @@ from repro.core.config import StoreConfig, TrieBalancing
 from repro.core.errors import OverlayError
 from repro.overlay import keys as keyspace
 from repro.overlay import trie
+from repro.overlay.faults import FaultInjector, FaultMode, FaultPlan, RetryPolicy
 from repro.overlay.hashing import CompositeKeyCodec
 from repro.overlay.messages import MessageTracer
 from repro.overlay.peer import Peer
@@ -99,6 +100,12 @@ class PGridNetwork:
                     other for other in peer_ids if other != peer_id
                 ]
         self._build_routing_tables()
+        #: Transport fault injection (None, or an injector whose no-op
+        #: plan keeps it inactive, leaves the delivery path untouched).
+        self.fault_injector: FaultInjector | None = None
+        #: How unrecoverable delivery failures surface: STRICT raises,
+        #: DEGRADED skips dark partitions and records partial coverage.
+        self.fault_mode: FaultMode = FaultMode.STRICT
         self.router = Router(self, random.Random(self.config.seed + 1))
 
     # -- construction ---------------------------------------------------------
@@ -167,6 +174,24 @@ class PGridNetwork:
                     ]
                     refs.append(replica)
                 peer.set_references(level, refs)
+
+    # -- transport faults --------------------------------------------------------
+
+    def install_faults(
+        self, plan: FaultPlan, policy: RetryPolicy | None = None
+    ) -> FaultInjector:
+        """Install a fault injector for ``plan`` on the delivery path.
+
+        A no-op plan installs an *inactive* injector: the router bypasses
+        it entirely and the measured series stay bit-identical (pinned by
+        property tests).  Returns the injector for session inspection.
+        """
+        self.fault_injector = FaultInjector(plan, policy)
+        return self.fault_injector
+
+    def clear_faults(self) -> None:
+        """Remove any installed fault injector (healthy transport)."""
+        self.fault_injector = None
 
     # -- oracle lookups (no message cost; used for placement & simulation) -----
 
@@ -247,13 +272,21 @@ class PGridNetwork:
 
     # -- data placement ----------------------------------------------------------
 
-    def insert_triples(self, triples: Iterable[Triple]) -> int:
+    def insert_triples(
+        self, triples: Iterable[Triple], respect_online: bool = False
+    ) -> int:
         """Index and place triples; returns the number of entries stored.
 
         Placement is done with the oracle (no routed insert messages): the
         paper's evaluation measures *query* cost, with publishing treated
         as an offline bulk load.  :meth:`estimate_insert_messages` prices
         the online publishing cost analytically.
+
+        ``respect_online`` skips offline replicas — the churn setting,
+        where an insert while a replica is down leaves that replica
+        divergent until :func:`~repro.overlay.replication.repair_partition`
+        runs anti-entropy.  The default writes every replica (bulk-load
+        semantics, unchanged).
         """
         per_partition: dict[int, list[IndexEntry]] = {}
         count = 0
@@ -263,7 +296,10 @@ class PGridNetwork:
             count += 1
         for index, entries in per_partition.items():
             for peer_id in self.partitions[index].peer_ids:
-                self.peers[peer_id].store.add_bulk(entries)
+                peer = self.peers[peer_id]
+                if respect_online and not peer.online:
+                    continue
+                peer.store.add_bulk(entries)
         return count
 
     def place_entries(self, entries: Sequence[IndexEntry]) -> int:
@@ -310,11 +346,14 @@ class PGridNetwork:
         flush(index)
         return count
 
-    def insert_entry(self, entry: IndexEntry) -> None:
+    def insert_entry(self, entry: IndexEntry, respect_online: bool = False) -> None:
         """Place one pre-built index entry (incremental insertion)."""
         partition = self.partition_for(entry.key)
         for peer_id in partition.peer_ids:
-            self.peers[peer_id].store.add(entry)
+            peer = self.peers[peer_id]
+            if respect_online and not peer.online:
+                continue
+            peer.store.add(entry)
 
     def publish_triple(self, triple: Triple, publisher_id: int) -> int:
         """Online, routed publication of one triple's index entries.

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import RoutingError
+from repro.core.errors import PartitionUnreachableError, RoutingError
 from repro.overlay import keys as keyspace
+from repro.overlay.faults import FaultMode
 from repro.overlay.messages import MessageType
 from repro.overlay.routing import Router
 from repro.storage.indexing import IndexEntry
@@ -62,26 +63,72 @@ def range_query(
     if not partitions:
         raise RoutingError(f"no partition intersects [{lo_key!r}, {hi_key!r}]")
 
-    first = router.route(partitions[0].path, start_id, phase=phase)
-    contacted = [first]
-    for partition in partitions:
-        if partition.contains(first.peer_id):
-            continue
-        replica = router._live_replica(partition)
-        router.tracer.send(
-            MessageType.FORWARD, contacted[-1].peer_id, replica.peer_id, phase=phase
-        )
-        contacted.append(replica)
+    if router.faults_active():
+        contacted = _contact_range_faulty(router, partitions, start_id, phase)
+    else:
+        first = router.route(partitions[0].path, start_id, phase=phase)
+        contacted = [first]
+        for partition in partitions:
+            if partition.contains(first.peer_id):
+                continue
+            replica = router._live_replica(partition)
+            router.tracer.send(
+                MessageType.FORWARD, contacted[-1].peer_id, replica.peer_id,
+                phase=phase,
+            )
+            contacted.append(replica)
 
     entries: list[IndexEntry] = []
     for peer in contacted:
         local = peer.store.range_scan(lo_key, hi_key)
-        entries.extend(local)
         if collect_results and local:
             payload = sum(entry.payload_size() for entry in local)
-            router.send_result(peer.peer_id, start_id, payload, phase=phase)
+            if not router.send_result(peer.peer_id, start_id, payload, phase=phase):
+                # Result message lost beyond retries (degraded mode):
+                # these matches never reach the initiator.
+                router.record_dropped_candidates(len(local))
+                continue
+        entries.extend(local)
     return RangeQueryResult(
         entries=entries,
         contacted_peer_ids=[peer.peer_id for peer in contacted],
         partitions_touched=len(partitions),
     )
+
+
+def _contact_range_faulty(
+    router: Router, partitions: list, start_id: int, phase: str
+) -> list:
+    """Shower into a partition range under an active fault injector.
+
+    Mirrors :meth:`Router._multicast_prefix_faulty`: enter at the first
+    reachable partition, forward with retry/replica-failover, and in
+    ``DEGRADED`` mode record dark partitions on the fault session
+    instead of raising.
+    """
+    session = router.network.fault_injector.session
+    degraded = router.network.fault_mode is FaultMode.DEGRADED
+    for partition in partitions:
+        session.record_target(partition)
+    first = None
+    entry_index = 0
+    for index, partition in enumerate(partitions):
+        try:
+            first = router.route(partition.path, start_id, phase=phase)
+            entry_index = index
+            break
+        except PartitionUnreachableError:
+            if not degraded:
+                raise
+            session.record_dark(partition)
+    if first is None:
+        return []
+    contacted = [first]
+    for partition in partitions[entry_index:]:
+        if partition.contains(first.peer_id):
+            continue
+        replica = router._contact_partition(partition, contacted[-1].peer_id, phase)
+        if replica is None:
+            continue
+        contacted.append(replica)
+    return contacted

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.overlay.messages import MessageType
 from repro.overlay.network import PGridNetwork
 
 
@@ -25,27 +26,33 @@ class ReplicationReport:
     divergent_partitions: list[int]
 
 
+def entry_signature(entry) -> tuple:
+    """The identity of one stored index entry, shared by audit and repair.
+
+    Includes ``position``: a string's repeated q-gram occurs once per
+    position, and collapsing those entries (as a position-less signature
+    would) both under-repairs and diverges from what the audit compares.
+    """
+    triple = entry.triple
+    return (
+        entry.key,
+        entry.kind.value,
+        triple.oid,
+        triple.attribute,
+        str(triple.value),
+        entry.gram or "",
+        entry.position,
+    )
+
+
 def audit_replicas(network: PGridNetwork) -> ReplicationReport:
     """Verify that all replicas of each partition store identical entries."""
     divergent: list[int] = []
-
-    def signature(entry) -> tuple:
-        triple = entry.triple
-        return (
-            entry.key,
-            entry.kind.value,
-            triple.oid,
-            triple.attribute,
-            str(triple.value),
-            entry.gram or "",
-            entry.position,
-        )
-
     for partition in network.partitions:
         stores = [network.peer(pid).store for pid in partition.peer_ids]
-        reference = sorted(signature(e) for e in stores[0])
+        reference = sorted(entry_signature(e) for e in stores[0])
         for store in stores[1:]:
-            other = sorted(signature(e) for e in store)
+            other = sorted(entry_signature(e) for e in store)
             if other != reference:
                 divergent.append(partition.index)
                 break
@@ -57,28 +64,44 @@ def audit_replicas(network: PGridNetwork) -> ReplicationReport:
     )
 
 
-def repair_partition(network: PGridNetwork, partition_index: int) -> int:
+def repair_partition(
+    network: PGridNetwork, partition_index: int, charge_messages: bool = False
+) -> int:
     """Copy the union of replica contents back onto every replica.
 
     Models P-Grid's anti-entropy repair; returns the number of entries
     copied.  Only meaningful after failures have caused divergence (e.g.
-    inserts while a replica was offline).
+    inserts while a replica was offline).  Union and per-replica diff
+    both use :func:`entry_signature`, so repeated q-grams of one string
+    at different positions repair independently and a follow-up
+    :func:`audit_replicas` agrees with the result.
+
+    ``charge_messages`` prices the anti-entropy exchange on the
+    network's tracer under the ``repair`` phase: one ``FORWARD`` per
+    replica that received missing entries, carrying their payload bytes
+    (the churn-recovery benchmark's repair-traffic series).
     """
     partition = network.partition(partition_index)
     union: dict[tuple, object] = {}
     for peer_id in partition.peer_ids:
         for entry in network.peer(peer_id).store:
-            union[(entry.key, entry.kind.value, entry.triple, entry.gram)] = entry
+            union[entry_signature(entry)] = entry
     copied = 0
     for peer_id in partition.peer_ids:
         store = network.peer(peer_id).store
-        present = {
-            (e.key, e.kind.value, e.triple, e.gram) for e in store
-        }
+        present = {entry_signature(e) for e in store}
         missing = [entry for sig, entry in union.items() if sig not in present]
         if missing:
             store.add_bulk(missing)  # type: ignore[arg-type]
             copied += len(missing)
+            if charge_messages:
+                network.tracer.send(
+                    MessageType.FORWARD,
+                    partition.peer_ids[0],
+                    peer_id,
+                    sum(entry.payload_size() for entry in missing),
+                    phase="repair",
+                )
     return copied
 
 

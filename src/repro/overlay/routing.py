@@ -20,6 +20,16 @@ Three primitives cover everything the operators need:
 Failures: every partition has ``k`` replicas; the router picks a random
 *online* replica and falls back to the others, raising
 :class:`PartitionUnreachableError` only when a whole partition is dark.
+
+Transport faults: when the network carries an *active*
+:class:`~repro.overlay.faults.FaultInjector`, every send goes through
+:meth:`Router._deliver` — drops are retried with capped exponential
+backoff (charged under the ``retry`` phase), unanswering peers trigger
+replica failover (charged under ``failover``), and partitions that stay
+dark either raise (``FaultMode.STRICT``) or are skipped and recorded on
+the injector's per-query session (``FaultMode.DEGRADED``).  With no
+injector — or a no-op plan — the delivery path is byte-for-byte the
+code below, so the measured series stay bit-identical.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.errors import PartitionUnreachableError, RoutingError
 from repro.overlay import keys as keyspace
+from repro.overlay.faults import DeliveryOutcome, FaultMode
 from repro.overlay.messages import MessageTracer, MessageType
 from repro.overlay.peer import Peer
 from repro.storage.indexing import IndexEntry
@@ -63,6 +74,9 @@ class Router:
         processing is free).
         """
         keyspace.validate_key(key)
+        injector = self.network.fault_injector
+        if injector is not None and injector.active:
+            injector.session.record_target(self.network.partition_for(key))
         peer = self.network.peer(start_id)
         if not peer.online:
             peer = self._reroute_from_offline(peer)
@@ -71,9 +85,10 @@ class Router:
         while not peer.responsible_for(key):
             level = keyspace.common_prefix_len(peer.path, key)
             next_peer = self._pick_reference(peer, level)
-            self.tracer.send(
-                MessageType.ROUTE, peer.peer_id, next_peer.peer_id, phase=phase
-            )
+            if not self._deliver(
+                MessageType.ROUTE, peer.peer_id, next_peer, phase=phase
+            ):
+                next_peer = self._failover_reference(peer, level, next_peer)
             peer = next_peer
             hops += 1
             if hops > max_hops:
@@ -125,6 +140,9 @@ class Router:
         partitions = network.partitions_under(prefix)
         if not partitions:
             raise RoutingError(f"no partition under prefix {prefix!r}")
+        injector = network.fault_injector
+        if injector is not None and injector.active:
+            return self._multicast_prefix_faulty(partitions, start_id, phase)
         first = self.route(partitions[0].path, start_id, phase=phase)
         contacted = [first]
         if not self.tracer.record_log:
@@ -138,7 +156,9 @@ class Router:
                     replica = peers[peer_ids[0]]
                     if not replica.online:
                         raise PartitionUnreachableError(
-                            f"partition {partition.path!r} has no online replica"
+                            f"partition {partition.path!r} has no online replica",
+                            partition_index=partition.index,
+                            partition_path=partition.path,
                         )
                 else:
                     replica = self._live_replica(partition)
@@ -154,6 +174,47 @@ class Router:
             self.tracer.send(
                 MessageType.FORWARD, contacted[-1].peer_id, replica.peer_id, phase=phase
             )
+            contacted.append(replica)
+        return contacted
+
+    def _multicast_prefix_faulty(
+        self, partitions: Sequence["Partition"], start_id: int, phase: str
+    ) -> list[Peer]:
+        """Shower dissemination under an active fault injector.
+
+        Routes into the first *reachable* partition, then contacts every
+        further partition through :meth:`_contact_partition` (retry +
+        replica failover).  In ``DEGRADED`` mode dark partitions are
+        recorded on the fault session and skipped; in ``STRICT`` mode
+        the first dark partition raises, matching the healthy path's
+        semantics.
+        """
+        session = self.network.fault_injector.session
+        degraded = self.network.fault_mode is FaultMode.DEGRADED
+        for partition in partitions:
+            session.record_target(partition)
+        first: Peer | None = None
+        entry_index = 0
+        for index, partition in enumerate(partitions):
+            try:
+                first = self.route(partition.path, start_id, phase=phase)
+                entry_index = index
+                break
+            except PartitionUnreachableError:
+                if not degraded:
+                    raise
+                session.record_dark(partition)
+        if first is None:
+            return []
+        contacted = [first]
+        for partition in partitions[entry_index:]:
+            if partition.contains(first.peer_id):
+                continue
+            replica = self._contact_partition(
+                partition, contacted[-1].peer_id, phase
+            )
+            if replica is None:
+                continue
             contacted.append(replica)
         return contacted
 
@@ -175,12 +236,30 @@ class Router:
         for key in unique:
             partition = self.network.partition_for(key)
             by_partition[partition.index].append(key)
+        injector = self.network.fault_injector
+        faulty = injector is not None and injector.active
+        degraded = faulty and self.network.fault_mode is FaultMode.DEGRADED
         answers: dict[str, Peer] = {}
         previous: Peer | None = None
         for index in sorted(by_partition):
             partition = self.network.partition(index)
+            if faulty:
+                injector.session.record_target(partition)
             if previous is None:
-                peer = self.route(partition.path, start_id, phase=phase)
+                try:
+                    peer = self.route(partition.path, start_id, phase=phase)
+                except PartitionUnreachableError:
+                    if not degraded:
+                        raise
+                    injector.session.record_dark(partition)
+                    continue
+            elif faulty:
+                contacted = self._contact_partition(
+                    partition, previous.peer_id, phase
+                )
+                if contacted is None:
+                    continue
+                peer = contacted
             else:
                 peer = self._live_replica(partition)
                 self.tracer.send(
@@ -204,26 +283,233 @@ class Router:
 
     def send_result(
         self, sender: int, receiver: int, payload_bytes: int, phase: str = "result"
-    ) -> None:
-        """Charge one result-return message."""
-        self.tracer.send(
-            MessageType.RESULT, sender, receiver, payload_bytes, phase=phase
+    ) -> bool:
+        """Charge one result-return message; False if faults dropped it."""
+        return self._send_direct(
+            MessageType.RESULT, sender, receiver, payload_bytes, phase
         )
 
     def send_delegate(
         self, sender: int, receiver: int, payload_bytes: int, phase: str = "delegate"
-    ) -> None:
-        """Charge one plan-delegation message."""
-        self.tracer.send(
-            MessageType.DELEGATE, sender, receiver, payload_bytes, phase=phase
+    ) -> bool:
+        """Charge one plan-delegation message; False if faults dropped it."""
+        return self._send_direct(
+            MessageType.DELEGATE, sender, receiver, payload_bytes, phase
         )
 
     def send_broadcast(
         self, sender: int, receiver: int, payload_bytes: int, phase: str = "broadcast"
-    ) -> None:
-        """Charge one naive-strategy broadcast message."""
-        self.tracer.send(
-            MessageType.BROADCAST, sender, receiver, payload_bytes, phase=phase
+    ) -> bool:
+        """Charge one naive-strategy broadcast message; False if dropped."""
+        return self._send_direct(
+            MessageType.BROADCAST, sender, receiver, payload_bytes, phase
+        )
+
+    # -- fault-aware delivery ----------------------------------------------------
+
+    def faults_active(self) -> bool:
+        """True when an active fault injector intercepts deliveries."""
+        injector = self.network.fault_injector
+        return injector is not None and injector.active
+
+    def record_dropped_candidates(self, count: int) -> None:
+        """Note ``count`` result rows lost to undeliverable messages."""
+        injector = self.network.fault_injector
+        if injector is not None and injector.active:
+            injector.session.dropped_candidates += count
+
+    def _deliver(
+        self,
+        msg_type: MessageType,
+        sender_id: int,
+        receiver: Peer,
+        payload_bytes: int = 0,
+        phase: str = "query",
+    ) -> bool:
+        """Send one message through the fault injector, retrying drops.
+
+        The first attempt is charged under the caller's ``phase`` (so a
+        clean delivery is indistinguishable from the healthy path);
+        every retry is charged under ``retry``.  Returns False when the
+        receiver is unavailable (the caller fails over) or when the
+        policy's attempt cap / the session's retry budget is exhausted.
+        """
+        injector = self.network.fault_injector
+        if injector is None or not injector.active:
+            self.tracer.send(
+                msg_type, sender_id, receiver.peer_id, payload_bytes, phase=phase
+            )
+            return True
+        policy = injector.policy
+        session = injector.session
+        attempt = 1
+        while True:
+            self.tracer.send(
+                msg_type,
+                sender_id,
+                receiver.peer_id,
+                payload_bytes,
+                phase=phase if attempt == 1 else "retry",
+            )
+            if attempt > 1:
+                session.retries += 1
+            session.simulated_latency += injector.link_latency(
+                sender_id, receiver.peer_id
+            )
+            outcome = injector.attempt(sender_id, receiver.peer_id)
+            if outcome is DeliveryOutcome.DELIVERED:
+                return True
+            if outcome is DeliveryOutcome.UNAVAILABLE:
+                session.timeouts += 1
+                session.simulated_latency += policy.timeout
+                return False
+            session.dropped_messages += 1
+            if attempt >= policy.max_attempts or not session.consume_retry():
+                return False
+            session.simulated_latency += policy.backoff(attempt)
+            attempt += 1
+
+    def _send_direct(
+        self,
+        msg_type: MessageType,
+        sender: int,
+        receiver: int,
+        payload_bytes: int,
+        phase: str,
+    ) -> bool:
+        """One point-to-point message (result/delegate/broadcast).
+
+        Healthy path: a single tracer charge, always delivered.  Under
+        an active injector the delivery is retried like any other; an
+        undeliverable message raises in ``STRICT`` mode and returns
+        False in ``DEGRADED`` mode (callers drop the affected rows and
+        record them via :meth:`record_dropped_candidates`).
+        """
+        injector = self.network.fault_injector
+        if injector is None or not injector.active:
+            self.tracer.send(msg_type, sender, receiver, payload_bytes, phase=phase)
+            return True
+        delivered = self._deliver(
+            msg_type, sender, self.network.peer(receiver), payload_bytes, phase
+        )
+        if not delivered and self.network.fault_mode is FaultMode.STRICT:
+            raise RoutingError(
+                f"delivery of {msg_type.value} message from peer {sender} "
+                f"to peer {receiver} failed after retries",
+                peer_id=receiver,
+            )
+        return delivered
+
+    def send_broadcast_failover(
+        self,
+        sender: int,
+        peer: Peer,
+        payload_bytes: int,
+        phase: str = "broadcast",
+    ) -> Peer | None:
+        """Deliver one broadcast query copy, failing over to replicas.
+
+        Active faults only (callers use :meth:`send_broadcast` on the
+        healthy path).  Returns the replica that finally received the
+        copy; when the whole partition is unreachable, ``DEGRADED``
+        records it dark and returns ``None`` while ``STRICT`` raises.
+        """
+        injector = self.network.fault_injector
+        session = injector.session
+        if self._deliver(
+            MessageType.BROADCAST, sender, peer, payload_bytes, phase=phase
+        ):
+            return peer
+        partition = self.network.partition_for(peer.path)
+        for replica_id in peer.replicas:
+            replica = self.network.peer(replica_id)
+            if not replica.online:
+                continue
+            session.failovers += 1
+            if self._deliver(
+                MessageType.BROADCAST, sender, replica, payload_bytes,
+                phase="failover",
+            ):
+                return replica
+        if self.network.fault_mode is FaultMode.DEGRADED:
+            session.record_dark(partition)
+            return None
+        raise PartitionUnreachableError(
+            f"broadcast into partition {partition.path!r} failed on every replica",
+            partition_index=partition.index,
+            partition_path=partition.path,
+        )
+
+    def _contact_partition(
+        self, partition: "Partition", sender_id: int, phase: str
+    ) -> Peer | None:
+        """Forward into one partition under faults, failing over replicas.
+
+        Tries a random online replica first (charged under the caller's
+        phase), then the remaining online replicas (each contact charged
+        under ``failover``).  When every replica is offline or
+        unreachable: ``STRICT`` raises a :class:`PartitionUnreachableError`
+        carrying the partition's index/path, ``DEGRADED`` records the
+        partition dark on the fault session and returns ``None``.
+        """
+        injector = self.network.fault_injector
+        session = injector.session
+        order = list(partition.peer_ids)
+        self.rng.shuffle(order)
+        first_contact = True
+        for peer_id in order:
+            replica = self.network.peer(peer_id)
+            if not replica.online:
+                continue
+            if not first_contact:
+                session.failovers += 1
+            delivered = self._deliver(
+                MessageType.FORWARD,
+                sender_id,
+                replica,
+                phase=phase if first_contact else "failover",
+            )
+            first_contact = False
+            if delivered:
+                return replica
+        if self.network.fault_mode is FaultMode.DEGRADED:
+            session.record_dark(partition)
+            return None
+        raise PartitionUnreachableError(
+            f"partition {partition.path!r} has no reachable replica",
+            partition_index=partition.index,
+            partition_path=partition.path,
+        )
+
+    def _failover_reference(self, peer: Peer, level: int, failed: Peer) -> Peer:
+        """Re-route one hop after a failed delivery (active faults only).
+
+        Retries the remaining online candidates at ``level`` — the other
+        routing references and the replicas sharing their partitions —
+        charging each contact under the ``failover`` phase.  Raises a
+        context-carrying :class:`PartitionUnreachableError` when no
+        candidate answers.
+        """
+        injector = self.network.fault_injector
+        session = injector.session
+        tried = {failed.peer_id}
+        for ref_id in peer.references(level):
+            candidate = self.network.peer(ref_id)
+            for option_id in (candidate.peer_id, *candidate.replicas):
+                if option_id in tried:
+                    continue
+                tried.add(option_id)
+                option = self.network.peer(option_id)
+                if not option.online:
+                    continue
+                session.failovers += 1
+                if self._deliver(
+                    MessageType.ROUTE, peer.peer_id, option, phase="failover"
+                ):
+                    return option
+        raise PartitionUnreachableError(
+            f"peer {peer.peer_id} could not reach any reference at level {level}",
+            peer_id=peer.peer_id,
         )
 
     # -- internals ---------------------------------------------------------------
@@ -248,7 +534,8 @@ class Router:
                 if replica.online:
                     return replica
         raise PartitionUnreachableError(
-            f"all references of peer {peer.peer_id} at level {level} are offline"
+            f"all references of peer {peer.peer_id} at level {level} are offline",
+            peer_id=peer.peer_id,
         )
 
     def _live_replica(self, partition: "Partition") -> Peer:
@@ -260,7 +547,9 @@ class Router:
             if peer.online:
                 return peer
         raise PartitionUnreachableError(
-            f"partition {partition.path!r} has no online replica"
+            f"partition {partition.path!r} has no online replica",
+            partition_index=partition.index,
+            partition_path=partition.path,
         )
 
     def _reroute_from_offline(self, peer: Peer) -> Peer:
@@ -270,7 +559,8 @@ class Router:
             if replica.online:
                 return replica
         raise PartitionUnreachableError(
-            f"initiating peer {peer.peer_id} and all its replicas are offline"
+            f"initiating peer {peer.peer_id} and all its replicas are offline",
+            peer_id=peer.peer_id,
         )
 
 

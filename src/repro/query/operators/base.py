@@ -208,13 +208,20 @@ class OperatorContext:
             by_peer[peer.peer_id].append(key)
         for peer_id, keys in by_peer.items():
             peer = self.network.peer(peer_id)
-            router.send_delegate(
+            if not router.send_delegate(
                 delegating_peer_id,
                 peer_id,
                 query_bytes + sum(len(key_to_oid[k]) for k in keys),
                 phase=phase,
-            )
+            ):
+                # Delegation lost beyond retries (degraded mode): the oid
+                # peer never learns of the request, so its whole batch of
+                # candidates silently drops out of the result.
+                router.record_dropped_candidates(len(keys))
+                continue
             fresh_triples: list[Triple] = []
+            fresh_oids: list[str] = []
+            fresh_signatures: list[tuple[int, str]] = []
             for key in keys:
                 oid = key_to_oid[key]
                 partition = self.network.partition_for(key)
@@ -229,10 +236,23 @@ class OperatorContext:
                     if signature in seen_partitions:
                         continue
                     seen_partitions.add(signature)
+                    fresh_signatures.append(signature)
+                fresh_oids.append(oid)
                 fresh_triples.extend(triples)
             if fresh_triples:
                 payload = sum(t.payload_size() for t in fresh_triples)
-                router.send_result(peer_id, initiator_id, payload, phase=phase)
+                if not router.send_result(
+                    peer_id, initiator_id, payload, phase=phase
+                ):
+                    # Result message lost: the initiator never receives
+                    # this batch.  Un-record it (including the duplicate
+                    # suppression marks, so a later delegation of the
+                    # same oids can answer) and count the drop.
+                    for oid in fresh_oids:
+                        objects.pop(oid, None)
+                    if seen_partitions is not None:
+                        seen_partitions.difference_update(fresh_signatures)
+                    router.record_dropped_candidates(len(fresh_oids))
         return objects
 
 

@@ -95,14 +95,18 @@ def similar_collected(
     hit_oids: set[str] = set()
     for peer_id, keys in sorted(contacted.items()):
         peer = ctx.network.peer(peer_id)
-        ctx.router.send_delegate(
+        if not ctx.router.send_delegate(
             initiator_id,
             peer_id,
             QUERY_HEADER_BYTES
             + sum(len(g.gram) for k in keys for g in gram_keys[k]),
             phase="gram_lookup",
-        )
-        returned = 0
+        ):
+            # Delegation lost beyond retries (degraded mode): this gram
+            # peer never scans its keys.
+            ctx.router.record_dropped_candidates(len(keys))
+            continue
+        returned: list[tuple[str, int]] = []
         payload = 0
         for key in keys:
             occurrences = gram_keys[key]
@@ -115,12 +119,19 @@ def similar_collected(
                     for occurrence in occurrences
                 ):
                     continue
-                counter.observe(entry.triple.oid, entry.source_length)
-                hit_oids.add(entry.triple.oid)
-                returned += 1
+                returned.append((entry.triple.oid, entry.source_length))
                 payload += entry.payload_size()
         if returned:
-            ctx.router.send_result(peer_id, initiator_id, payload, phase="gram_lookup")
+            if not ctx.router.send_result(
+                peer_id, initiator_id, payload, phase="gram_lookup"
+            ):
+                # The hit list never reaches the initiator: its gram
+                # observations are lost to the count filter as well.
+                ctx.router.record_dropped_candidates(len(returned))
+                continue
+            for oid, source_length in returned:
+                counter.observe(oid, source_length)
+                hit_oids.add(oid)
 
     # Step 2: the initiator's global count filter (full gram sets only).
     if use_count_filter and chosen is SimilarityStrategy.QGRAM:

@@ -54,7 +54,11 @@ def select_equals(
     ]
     if hits:
         payload = sum(t.payload_size() for t in hits)
-        ctx.router.send_result(peer.peer_id, initiator_id, payload, phase="exact")
+        if not ctx.router.send_result(
+            peer.peer_id, initiator_id, payload, phase="exact"
+        ):
+            ctx.router.record_dropped_candidates(len(hits))
+            hits = []
     if not fetch_full_objects:
         return [
             MatchedObject(t.oid, str(t.value), 0.0, (t,)) for t in hits
@@ -89,7 +93,11 @@ def keyword_lookup(
     ]
     if hits:
         payload = sum(t.payload_size() for t in hits)
-        ctx.router.send_result(peer.peer_id, initiator_id, payload, phase="exact")
+        if not ctx.router.send_result(
+            peer.peer_id, initiator_id, payload, phase="exact"
+        ):
+            ctx.router.record_dropped_candidates(len(hits))
+            hits = []
     return sorted(hits, key=lambda t: (t.oid, t.attribute))
 
 
@@ -115,7 +123,11 @@ def scan_attribute(
         ]
         if local:
             payload = sum(t.payload_size() for t in local)
-            ctx.router.send_result(peer.peer_id, initiator_id, payload, phase="scan")
+            if not ctx.router.send_result(
+                peer.peer_id, initiator_id, payload, phase="scan"
+            ):
+                ctx.router.record_dropped_candidates(len(local))
+                continue
             triples.extend(local)
     return sorted(triples, key=lambda t: (t.oid, str(t.value)))
 

@@ -177,8 +177,12 @@ def naive_similar(
     else:
         region_prefix = ctx.codec.attr_prefix(attribute)
 
+    # Under an active fault injector the sampled estimator is bypassed
+    # (its extrapolation assumes fault-free structural cost) and every
+    # query copy is delivered individually with retry/failover.
+    faulty = ctx.router.faults_active()
     rate = ctx.naive_sample_rate
-    if 0.0 < rate < 1.0:
+    if 0.0 < rate < 1.0 and not faulty:
         return _sampled_naive_similar(
             ctx, s, attribute, d, initiator_id, verifier, region_prefix,
             schema_level, rate,
@@ -191,7 +195,17 @@ def naive_similar(
     )
     # The query string travels with every broadcast message; charge its
     # size once per contacted peer on top of the multicast accounting.
-    if tracer.record_log:
+    if faulty:
+        reached = []
+        for peer in peers:
+            receiver = ctx.router.send_broadcast_failover(
+                initiator_id, peer, QUERY_HEADER_BYTES + len(s),
+                phase="broadcast",
+            )
+            if receiver is not None:
+                reached.append(receiver)
+        peers = reached
+    elif tracer.record_log:
         for peer in peers:
             ctx.router.send_broadcast(
                 initiator_id, peer.peer_id, QUERY_HEADER_BYTES + len(s),
@@ -210,7 +224,10 @@ def naive_similar(
     # Local comparison at every contacted peer — computed once per
     # (s, a) region when a workload memo is installed (at the memo's
     # band, so every later distance replays it), recomputed otherwise.
-    memo = ctx.naive_memo
+    # A partial (degraded) contact list must never seed the region-wide
+    # memo, and replaying a healthy outcome would hide the darkness, so
+    # the memo is bypassed entirely while faults are active.
+    memo = None if faulty else ctx.naive_memo
     memo_key = (s, attribute)
     comparison = (
         memo.lookup(memo_key, d, contacted) if memo is not None else None
@@ -231,9 +248,13 @@ def naive_similar(
         if not matched_here:
             continue
         payload = sum(len(oid) + len(value) + 2 for oid, value, __ in matched_here)
-        ctx.router.send_result(
+        if not ctx.router.send_result(
             peer.peer_id, initiator_id, payload, phase="broadcast"
-        )
+        ):
+            # Result return lost beyond retries (degraded mode): this
+            # peer's matches never reach the initiator.
+            ctx.router.record_dropped_candidates(len(matched_here))
+            continue
         for oid, value, distance in matched_here:
             previous = hits.get(oid)
             if previous is None or distance < previous[0]:

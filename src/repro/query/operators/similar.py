@@ -243,13 +243,17 @@ def similar(
     delegated_total = 0
     for peer_id, keys in sorted(contacted.items()):
         peer = ctx.network.peer(peer_id)
-        ctx.router.send_delegate(
+        if not ctx.router.send_delegate(
             initiator_id,
             peer_id,
             QUERY_HEADER_BYTES
             + sum(len(g.gram) for k in keys for g in gram_keys[k]),
             phase="gram_lookup",
-        )
+        ):
+            # Delegation lost beyond retries (degraded mode): this gram
+            # peer never scans, so its keys contribute no candidates.
+            ctx.router.record_dropped_candidates(len(keys))
+            continue
         candidate_oids: set[str] = set()
         partition_index = (
             ctx.network.partition_for(peer.path).index

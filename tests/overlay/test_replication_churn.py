@@ -3,9 +3,11 @@
 import pytest
 
 from repro.core.config import StoreConfig
+from repro.core.errors import OverlayError
 from repro.overlay.churn import ChurnController
 from repro.overlay.replication import (
     audit_replicas,
+    entry_signature,
     network_availability,
     partition_availability,
     repair_partition,
@@ -40,6 +42,59 @@ class TestReplicationAudit:
         copied = repair_partition(network, partition.index)
         assert copied >= 1
         assert audit_replicas(network).consistent
+
+    def test_signature_distinguishes_gram_positions(self, replicated_network):
+        """Repeated q-grams of one string repair per position (the
+        signature includes ``position``; a position-less key would
+        collapse them and leave the audit divergent after repair)."""
+        network = replicated_network
+        triple = Triple("w:8888", TEXT_ATTR, "banana")
+        entries = list(network.entry_factory.entries_for(triple))
+        signatures = {entry_signature(e) for e in entries}
+        assert len(signatures) == len(entries), "positions must not collapse"
+        # Write the whole object to one replica of each partition only.
+        touched = set()
+        for entry in entries:
+            partition = network.partition_for(entry.key)
+            network.peer(partition.peer_ids[0]).store.add(entry)
+            touched.add(partition.index)
+        report = audit_replicas(network)
+        assert set(report.divergent_partitions) <= touched
+        for index in report.divergent_partitions:
+            repair_partition(network, index)
+        assert audit_replicas(network).consistent
+        # Every replica now holds all per-position gram entries.
+        for entry in entries:
+            partition = network.partition_for(entry.key)
+            for peer_id in partition.peer_ids:
+                present = {
+                    entry_signature(e)
+                    for e in network.peer(peer_id).store.lookup(entry.key)
+                }
+                assert entry_signature(entry) in present
+
+    def test_repair_charges_messages_when_asked(self, replicated_network):
+        network = replicated_network
+        triple = Triple("w:9999", TEXT_ATTR, "charged")
+        entry = next(iter(network.entry_factory.entries_for(triple)))
+        partition = network.partition_for(entry.key)
+        network.peer(partition.peer_ids[0]).store.add(entry)
+        before = network.tracer.snapshot()
+        copied = repair_partition(network, partition.index, charge_messages=True)
+        delta = before.delta(network.tracer.snapshot())
+        assert copied >= 1
+        assert delta.by_phase.get("repair", 0) >= 1
+        assert delta.payload_bytes > 0
+
+    def test_silent_repair_charges_nothing(self, replicated_network):
+        network = replicated_network
+        triple = Triple("w:9998", TEXT_ATTR, "silent")
+        entry = next(iter(network.entry_factory.entries_for(triple)))
+        partition = network.partition_for(entry.key)
+        network.peer(partition.peer_ids[0]).store.add(entry)
+        before = network.tracer.snapshot()
+        repair_partition(network, partition.index)
+        assert before.delta(network.tracer.snapshot()).messages == 0
 
 
 class TestAvailabilityMath:
@@ -110,7 +165,39 @@ class TestChurn:
 
     def test_invalid_fraction_rejected(self, replicated_network):
         controller = ChurnController(replicated_network, seed=6)
-        from repro.core.errors import OverlayError
 
         with pytest.raises(OverlayError):
             controller.fail_fraction(1.5)
+
+    def test_fail_peers_rejects_unknown_ids(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=7)
+        with pytest.raises(OverlayError) as excinfo:
+            controller.fail_peers([0, replicated_network.n_peers + 5])
+        assert excinfo.value.peer_id == replicated_network.n_peers + 5
+        # Validation happens before any peer goes down.
+        assert replicated_network.peer(0).online
+
+    def test_fail_peers_skips_already_offline(self, replicated_network):
+        controller = ChurnController(replicated_network, seed=8)
+        try:
+            first = controller.fail_peers([3])
+            assert first.failed_peer_ids == [3]
+            second = controller.fail_peers([3, 3, 5])
+            # 3 was already down and the duplicate is deduped: only 5 counts.
+            assert second.failed_peer_ids == [5]
+        finally:
+            controller.recover_all()
+
+    def test_fail_peers_can_protect_partitions(self, replicated_network):
+        network = replicated_network
+        controller = ChurnController(network, seed=9)
+        partition = network.partition(0)
+        try:
+            report = controller.fail_peers(
+                list(partition.peer_ids), protect_partitions=True
+            )
+            # The last replica stays online: the partition never darkens.
+            assert len(report.failed_peer_ids) == len(partition.peer_ids) - 1
+            assert report.all_partitions_reachable
+        finally:
+            controller.recover_all()
