@@ -59,9 +59,12 @@ from repro.bench.report import (
 from repro.bench.sweep import (
     DEFAULT_PEER_COUNTS,
     PAPER_PEER_COUNTS,
+    ParallelSweepRunner,
+    SweepJob,
     SweepResult,
     full_scale,
-    sweep,
+    run_sweep_job,
+    sweep_check,
 )
 
 #: Default (scaled-down) corpus sizes.
@@ -133,6 +136,23 @@ def _parser() -> argparse.ArgumentParser:
         "fixed series are bit-identical either way; adaptive always "
         "runs last and is recorded as its own series)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep: (dataset, peer-count) "
+        "cells are independent and dispatched in parallel; measured "
+        "series are bit-identical to --jobs 1 (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=0,
+        metavar="THREADS",
+        help="intra-cell thread fan-out for per-peer delegate work "
+        "(>= 2 to enable); cost series are unaffected (default: off)",
+    )
     return parser
 
 
@@ -166,16 +186,31 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    check = args.check_incremental or None  # None -> REPRO_SWEEP_CHECK
-    sweep_options = {
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.fanout == 1 or args.fanout < 0:
+        print(
+            f"--fanout must be 0 (off) or >= 2, got {args.fanout}",
+            file=sys.stderr,
+        )
+        return 2
+    job_options = {
         "naive_sample_rate": args.naive_sample,
-        "check_equivalence": check,
+        "check_equivalence": args.check_incremental or sweep_check(),
         "strategies": (
             ALL_STRATEGIES if args.no_adaptive else ALL_WITH_ADAPTIVE
         ),
+        "repetitions": repetitions,
+        "peer_counts": peer_counts,
+        "config": config,
+        "parallel_fanout": args.fanout if args.fanout >= 2 else None,
     }
 
-    results: dict[str, SweepResult] = {}
+    # Both datasets' jobs are prepared first, then dispatched together:
+    # with --jobs > 1 one process pool interleaves every chunk, so no
+    # worker idles at a dataset barrier.
+    jobs: list[SweepJob] = []
     if "bible" in datasets_needed:
         print(
             f"# bible words: {words} words, peers {list(peer_counts)}, "
@@ -184,11 +219,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         corpus = bible_triples(words, seed=args.seed)
         strings = [str(t.value) for t in corpus]
-        results["bible"] = sweep(
-            "bible", corpus, TEXT_ATTRIBUTE, strings, peer_counts,
-            config=config, repetitions=repetitions, progress=progress,
-            **sweep_options,
-        )
+        jobs.append(SweepJob.from_dataset(
+            "bible", corpus, TEXT_ATTRIBUTE, strings, **job_options
+        ))
     if "titles" in datasets_needed:
         print(
             f"# painting titles: {titles} titles, peers {list(peer_counts)}",
@@ -196,11 +229,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         corpus = painting_triples(titles, seed=args.seed)
         strings = [str(t.value) for t in corpus]
-        results["titles"] = sweep(
-            "titles", corpus, TITLE_ATTRIBUTE, strings, peer_counts,
-            config=config, repetitions=repetitions, progress=progress,
-            **sweep_options,
-        )
+        jobs.append(SweepJob.from_dataset(
+            "titles", corpus, TITLE_ATTRIBUTE, strings, **job_options
+        ))
+
+    if args.jobs > 1:
+        swept = ParallelSweepRunner(args.jobs).run(jobs, progress)
+    else:
+        swept = [run_sweep_job(job, progress) for job in jobs]
+    results: dict[str, SweepResult] = {
+        result.dataset: result for result in swept
+    }
 
     status = 0
     for panel in wanted:
@@ -234,6 +273,11 @@ def main(argv: list[str] | None = None) -> int:
             # Whether the cost-model-driven adaptive replay ran (its
             # series is additive; fixed series are identical either way).
             "adaptive": not args.no_adaptive,
+            # Execution knobs: worker processes and intra-cell fan-out
+            # threads.  Both affect wall-clock numbers only — measured
+            # series are bit-identical across any jobs/fanout setting.
+            "jobs": args.jobs,
+            "fanout": args.fanout if args.fanout >= 2 else 0,
         }
         fig1_path = os.path.join(args.json_dir, "BENCH_fig1.json")
         with open(fig1_path, "w") as handle:

@@ -152,6 +152,7 @@ def run_cell(
     memoize_fetches: bool = True,
     share_verifiers: bool = True,
     naive_sample_rate: float = 0.0,
+    parallel_fanout: int | None = None,
 ) -> CellResult:
     """Run the full strategy comparison for one peer count.
 
@@ -178,13 +179,22 @@ def run_cell(
     cell, not folded into the workload series) and consumes router RNG
     draws doing so — running it after the fixed strategies keeps their
     series bit-identical to an adaptive-free run.
+
+    ``parallel_fanout`` (>= 2) turns on the engine's intra-query thread
+    fan-out for per-peer delegate work; cost series are unaffected.
     """
     config = config if config is not None else StoreConfig()
     started = time.perf_counter()
     if builder is not None:
+        # Time the build ourselves as well: a builder variant that
+        # reports nothing must still yield a real build_seconds, not 0.0.
+        build_started = time.perf_counter()
         network = builder.build(n_peers)
+        build_measured = time.perf_counter() - build_started
         report = builder.last_report
-        build_seconds = report.build_seconds if report is not None else 0.0
+        build_seconds = (
+            report.build_seconds if report is not None else build_measured
+        )
     else:
         if prepared is None:
             prepared = PreparedDataset.prepare(triples, config)
@@ -213,16 +223,20 @@ def run_cell(
         memoize_fetches=memoize_fetches,
         share_verifiers=share_verifiers,
         naive_sample_rate=naive_sample_rate,
+        parallel_fanout=parallel_fanout,
     )
-    fixed = [s for s in strategies if s is not SimilarityStrategy.ADAPTIVE]
-    for strategy in fixed:
-        network.tracer.reset()
-        ctx = engine.context(strategy=strategy)
-        result.by_strategy[strategy] = run_workload(
-            ctx, attribute, workload, strategy
-        )
-    if SimilarityStrategy.ADAPTIVE in strategies:
-        _run_adaptive(engine, attribute, workload, result)
+    try:
+        fixed = [s for s in strategies if s is not SimilarityStrategy.ADAPTIVE]
+        for strategy in fixed:
+            network.tracer.reset()
+            ctx = engine.context(strategy=strategy)
+            result.by_strategy[strategy] = run_workload(
+                ctx, attribute, workload, strategy
+            )
+        if SimilarityStrategy.ADAPTIVE in strategies:
+            _run_adaptive(engine, attribute, workload, result)
+    finally:
+        engine.close()
     result.wall_seconds = time.perf_counter() - started
     result.total_entries = network.total_entries()
     result.stored_payload_bytes = network.total_payload_bytes()

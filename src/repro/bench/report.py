@@ -107,13 +107,16 @@ def write_csv(path: str, result: SweepResult) -> None:
         handle.write(render_csv(result))
 
 
-#: Schema tag embedded in ``BENCH_fig1.json``.  v3 adds the ``adaptive``
-#: strategy series plus the per-cell ``adaptive_stats_messages`` /
+#: Schema tag embedded in ``BENCH_fig1.json``.  v4 adds the per-dataset
+#: ``sweep_seconds`` (end-to-end sweep wall clock — under ``--jobs N``
+#: bounded by the slowest worker chunk, not the sum of cells) and the
+#: ``jobs``/``fanout`` scale fields; v3 added the ``adaptive`` strategy
+#: series plus the per-cell ``adaptive_stats_messages`` /
 #: ``adaptive_stats_bytes`` / ``adaptive_choices`` fields (the cost of
 #: the one-off statistics walk and the cost model's strategy picks) —
 #: all additive; the v2 fields (``build_seconds``, ``naive_sampled``)
 #: and the v1 series fields are unchanged.
-FIG1_SCHEMA = "repro-bench-fig1/v3"
+FIG1_SCHEMA = "repro-bench-fig1/v4"
 
 
 def sweep_to_dict(
@@ -157,7 +160,11 @@ def sweep_to_dict(
                 sorted(cell.adaptive_choices.items())
             )
         cells.append(cell_dict)
-    return {"dataset": result.dataset, "cells": cells}
+    return {
+        "dataset": result.dataset,
+        "sweep_seconds": round(result.wall_seconds, 4),
+        "cells": cells,
+    }
 
 
 def render_fig1_json(

@@ -9,9 +9,49 @@ consistent parameter set.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigError
+
+#: Spellings accepted as a false environment flag (case-insensitive,
+#: surrounding whitespace ignored).  An *unset* variable uses the
+#: caller's default; an empty one is explicit false.
+FALSE_FLAG_VALUES = frozenset({"", "0", "false", "no", "off"})
+
+#: Spellings accepted as a true environment flag.
+TRUE_FLAG_VALUES = frozenset({"1", "true", "yes", "on"})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Read a boolean environment variable, normalized like enum names.
+
+    The one sanctioned way to parse an on/off environment switch
+    (``REPRO_FULL_SCALE``, ``REPRO_SWEEP_CHECK``, ...): values are
+    ``.strip().lower()``-normalized first — the same idiom
+    :meth:`SimilarityStrategy.from_name` uses — so ``"False"``,
+    ``"FALSE"``, ``" no "`` and ``"off"`` all read as false instead of
+    silently enabling the flag.  Unset variables return ``default``;
+    a value that is neither a known true nor false spelling raises
+    :class:`~repro.core.errors.ConfigError` rather than guessing.
+
+    Raw ``os.environ.get(...) not in (...)`` flag parsing is banned by
+    ``tools/check_env_flags.py`` precisely because it is case-sensitive;
+    route new flags through this helper.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    normalized = raw.strip().lower()
+    if normalized in FALSE_FLAG_VALUES:
+        return False
+    if normalized in TRUE_FLAG_VALUES:
+        return True
+    raise ConfigError(
+        f"environment flag {name}={raw!r} is neither true "
+        f"({'/'.join(sorted(TRUE_FLAG_VALUES))}) nor false "
+        f"({'/'.join(sorted(v for v in FALSE_FLAG_VALUES if v))}/empty)"
+    )
 
 #: Default total key width in bits.  32 bits gives 4 × 10⁹ distinct slots,
 #: ample for 10⁵ peers and 10⁶ data entries.

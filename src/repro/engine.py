@@ -48,6 +48,7 @@ from contextlib import contextmanager
 
 from repro.core.config import RankFunction, SimilarityStrategy, StoreConfig
 from repro.core.stats import QueryStats
+from repro.overlay.fanout import FanOutExecutor
 from repro.overlay.faults import FaultInjector, FaultMode, FaultPlan, RetryPolicy
 from repro.overlay.messages import CostReport, MessageTracer
 from repro.overlay.network import PGridNetwork
@@ -105,6 +106,16 @@ class QueryEngine:
     naive_sample_rate:
         Default sampled-broadcast estimator rate for contexts built by
         this engine (0 = exact).
+    parallel_fanout:
+        Thread count (>= 2) for the intra-query fan-out: per-peer
+        delegate work (gram-peer candidate scans, naive region
+        comparisons, broadcast query copies) runs on a
+        :class:`~repro.overlay.fanout.FanOutExecutor` owned by this
+        engine, with charges merged deterministically so every measured
+        series stays bit-identical to the serial reference path.
+        ``None``/``0``/``1`` (the default) keeps everything serial.
+        Engines with a fan-out installed should be :meth:`close`\\ d (or
+        used as context managers) to release the pool's threads.
     """
 
     def __init__(
@@ -119,6 +130,7 @@ class QueryEngine:
         memoize_fetches: bool | None = None,
         share_verifiers: bool = True,
         naive_sample_rate: float = 0.0,
+        parallel_fanout: int | None = None,
     ):
         self.network = network
         self.config = network.config
@@ -138,6 +150,11 @@ class QueryEngine:
             FetchObjectsMemo(network) if flag(memoize_fetches) else None
         )
         self.verifier_pool = VerifierPool() if share_verifiers else None
+        self.fanout = (
+            FanOutExecutor(parallel_fanout)
+            if parallel_fanout is not None and parallel_fanout > 1
+            else None
+        )
         self.cost_model = StrategyCostModel(network, latency_model)
         self.naive_sample_rate = naive_sample_rate
         self._filters = FilterConfig(
@@ -226,7 +243,26 @@ class QueryEngine:
             fetch_memo=self.fetch_memo,
             catalog=catalog,
             cost_model=self.cost_model,
+            fanout=self.fanout,
         )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release owned resources (the fan-out thread pool); idempotent.
+
+        Engines without a fan-out installed hold no threads, so calling
+        this is optional for them — but harness code that may enable
+        ``parallel_fanout`` should always close (or use ``with``).
+        """
+        if self.fanout is not None:
+            self.fanout.shutdown()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- memo lifecycle -----------------------------------------------------------
 

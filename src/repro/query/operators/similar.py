@@ -27,6 +27,7 @@ missed — property-tested against brute force in the test suite.
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import defaultdict
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -84,11 +85,18 @@ class GramScanMemo:
     the memo on or off.  The static-store contract is enforced: every
     cached scan records the store's mutation counter and is recomputed
     when the contacted replica reports any other version.
+
+    Thread-safe for the intra-query fan-out: cache probes, inserts and
+    counters are guarded by a lock, while the posting scan itself runs
+    outside it (pure and deterministic — a racing duplicate compute is
+    benign, and within one fanned-out batch distinct peers carry
+    distinct partition signatures, so the hit/miss tallies stay exact).
     """
 
     def __init__(self, network):
         self.network = network
         self._cache: dict[tuple, tuple[int, list[int], list[str]]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -114,18 +122,20 @@ class GramScanMemo:
             filters.use_position,
             filters.use_length,
         )
-        scan = self._cache.get(signature)
-        if scan is not None and scan[0] != peer.store.version:
-            self.invalidations += 1
-            scan = None
+        with self._lock:
+            scan = self._cache.get(signature)
+            if scan is not None and scan[0] != peer.store.version:
+                self.invalidations += 1
+                scan = None
+            if scan is not None:
+                self.hits += 1
         if scan is None:
-            self.misses += 1
             scan = self._scan(
                 peer, key, occurrences, attribute, schema_level, filters
             )
-            self._cache[signature] = scan
-        else:
-            self.hits += 1
+            with self._lock:
+                self.misses += 1
+                self._cache[signature] = scan
         __, min_distances, oids = scan
         return oids[: bisect.bisect_right(min_distances, d)]
 
@@ -161,10 +171,56 @@ class GramScanMemo:
 
     def clear(self) -> None:
         """Drop all cached scans (call after any data mutation)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __len__(self) -> int:
         return len(self._cache)
+
+
+def _gram_candidates(
+    ctx: OperatorContext,
+    peer,
+    keys: list[str],
+    gram_keys: dict[str, list[PositionalQGram]],
+    attribute: str,
+    schema_level: bool,
+    d: int,
+    scan_memo: GramScanMemo | None,
+) -> set[str]:
+    """One gram peer's step-3 scan: the oids it would delegate at ``d``.
+
+    Pure per-peer work (read-only store scans, no tracer charges, no RNG
+    draws) — the unit the intra-query fan-out dispatches to its thread
+    pool, and the body the serial reference loop runs inline.
+    """
+    candidate_oids: set[str] = set()
+    partition_index = (
+        ctx.network.partition_for(peer.path).index
+        if scan_memo is not None
+        else -1
+    )
+    for key in keys:
+        occurrences = gram_keys[key]
+        if scan_memo is not None:
+            candidate_oids.update(
+                scan_memo.candidate_oids(
+                    peer, partition_index, key, occurrences,
+                    attribute, schema_level, d, ctx.filters,
+                )
+            )
+            continue
+        for entry in peer.store.lookup(key):
+            if not _entry_matches(entry, attribute, occurrences[0], schema_level):
+                continue
+            stored = _entry_gram(entry)
+            if not any(
+                ctx.filters.admits(occurrence, stored, d)
+                for occurrence in occurrences
+            ):
+                continue
+            candidate_oids.add(entry.triple.oid)
+    return candidate_oids
 
 
 def similar(
@@ -237,11 +293,30 @@ def similar(
     # workload memo installed, each (partition, key, occurrences) posting
     # scan is computed once and every later distance replays a bisect.
     scan_memo = ctx.gram_scan_memo
+    peer_groups = sorted(contacted.items())
+
+    # Fan-out mode: prescan every gram peer's candidates on the thread
+    # pool (pure compute, stable peer-id order) before the serial
+    # delegate/fetch/verify loop consumes them.  Disabled under an
+    # *active* fault plan, where a lost delegation legitimately skips the
+    # peer's scan; the serial inline scan is the reference path.
+    fanout = ctx.fanout
+    if fanout is not None and not ctx.router.faults_active():
+        prescanned = fanout.map_ordered(
+            lambda group: _gram_candidates(
+                ctx, ctx.network.peer(group[0]), group[1], gram_keys,
+                attribute, schema_level, d, scan_memo,
+            ),
+            peer_groups,
+        )
+    else:
+        prescanned = None
+
     matches: dict[str, MatchedObject] = {}
     seen_partitions: set[tuple[int, str]] = set()
     all_delegated: set[str] = set()
     delegated_total = 0
-    for peer_id, keys in sorted(contacted.items()):
+    for group_index, (peer_id, keys) in enumerate(peer_groups):
         peer = ctx.network.peer(peer_id)
         if not ctx.router.send_delegate(
             initiator_id,
@@ -254,32 +329,13 @@ def similar(
             # peer never scans, so its keys contribute no candidates.
             ctx.router.record_dropped_candidates(len(keys))
             continue
-        candidate_oids: set[str] = set()
-        partition_index = (
-            ctx.network.partition_for(peer.path).index
-            if scan_memo is not None
-            else -1
-        )
-        for key in keys:
-            occurrences = gram_keys[key]
-            if scan_memo is not None:
-                candidate_oids.update(
-                    scan_memo.candidate_oids(
-                        peer, partition_index, key, occurrences,
-                        attribute, schema_level, d, ctx.filters,
-                    )
-                )
-                continue
-            for entry in peer.store.lookup(key):
-                if not _entry_matches(entry, attribute, occurrences[0], schema_level):
-                    continue
-                stored = _entry_gram(entry)
-                if not any(
-                    ctx.filters.admits(occurrence, stored, d)
-                    for occurrence in occurrences
-                ):
-                    continue
-                candidate_oids.add(entry.triple.oid)
+        if prescanned is not None:
+            candidate_oids = prescanned[group_index]
+        else:
+            candidate_oids = _gram_candidates(
+                ctx, peer, keys, gram_keys, attribute, schema_level, d,
+                scan_memo,
+            )
         if not candidate_oids:
             continue
         result.candidates_after_filters += len(candidate_oids)

@@ -26,6 +26,7 @@ swap it in without changing any match set.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from collections.abc import Iterable
 
@@ -198,19 +199,26 @@ class VerifierPool:
     One pool per composite operator run (a join's probes, a top-N's
     deepening rounds) lets every probe touching the same query string
     share one memo.
+
+    :meth:`get` is thread-safe (the engine shares one pool across every
+    operator context, and contexts may run fanned-out per-peer work);
+    the *returned* :class:`BatchVerifier` is not — verification passes
+    stay on the caller's thread, as the fan-out contract requires.
     """
 
-    __slots__ = ("_verifiers",)
+    __slots__ = ("_verifiers", "_lock")
 
     def __init__(self) -> None:
         self._verifiers: dict[tuple[str, int], BatchVerifier] = {}
+        self._lock = threading.Lock()
 
     def get(self, query: str, d: int) -> BatchVerifier:
         key = (query, d)
-        verifier = self._verifiers.get(key)
-        if verifier is None:
-            verifier = BatchVerifier(query, d)
-            self._verifiers[key] = verifier
+        with self._lock:
+            verifier = self._verifiers.get(key)
+            if verifier is None:
+                verifier = BatchVerifier(query, d)
+                self._verifiers[key] = verifier
         return verifier
 
     def __len__(self) -> int:

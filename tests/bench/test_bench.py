@@ -80,6 +80,10 @@ class TestCell:
         assert set(cell.by_strategy) == set(ALL_STRATEGIES)
         for stats in cell.by_strategy.values():
             assert stats.messages > 0
+        # Build time is one component of the cell's wall clock; a
+        # mis-measured (e.g. zeroed-without-measuring) build would
+        # break this invariant.
+        assert 0 < cell.build_seconds <= cell.wall_seconds
 
     def test_strategy_subset(self, corpus, strings):
         cell = run_cell(
@@ -155,6 +159,12 @@ class TestSweepAndReport:
         for strategy in ALL_STRATEGIES:
             assert len(result.message_series(strategy)) == 2
             assert len(result.megabyte_series(strategy)) == 2
+
+    def test_wall_clock_accounting(self, result):
+        assert result.wall_seconds > 0
+        for cell in result.cells:
+            assert 0 < cell.build_seconds <= cell.wall_seconds
+        assert sum(c.wall_seconds for c in result.cells) <= result.wall_seconds
 
     def test_format_panel_contains_all_strategies(self, result):
         text = format_panel("fig1a", result)

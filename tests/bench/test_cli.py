@@ -79,7 +79,10 @@ class TestCli:
         capsys.readouterr()
         assert status == 0
         fig1 = json.loads((tmp_path / "BENCH_fig1.json").read_text())
-        assert fig1["schema"] == "repro-bench-fig1/v3"
+        assert fig1["schema"] == "repro-bench-fig1/v4"
+        assert fig1["datasets"]["bible"]["sweep_seconds"] > 0
+        assert fig1["scale"]["jobs"] == 1
+        assert fig1["scale"]["fanout"] == 0
         cells = fig1["datasets"]["bible"]["cells"]
         assert cells[0]["peers"] == 16
         assert cells[0]["total_entries"] > 0

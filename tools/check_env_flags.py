@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Lint: ban raw membership-test parsing of environment flags.
+
+``os.environ.get(NAME, "") not in ("", "0", "false")`` looks right and
+is silently wrong — ``False``, ``FALSE``, ``no`` and ``off`` all fall
+through the tuple and *enable* the flag.  That exact bug once made
+``REPRO_FULL_SCALE=False`` launch a paper-scale (100 000-peer) sweep.
+The one sanctioned parser is :func:`repro.core.config.env_flag`, which
+normalizes with ``.strip().lower()`` and rejects unrecognized values.
+
+This script greps ``src/`` for statements that combine an environment
+read (``environ.get`` / ``environ[`` / ``getenv``) with an ``in`` /
+``not in`` membership test on the same logical line, and exits non-zero
+listing every offender.  ``config.py`` itself is exempt (it implements
+the parser).
+
+Run from the repository root::
+
+    python tools/check_env_flags.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Files allowed to read os.environ directly (the sanctioned parser).
+EXEMPT = {Path("src/repro/core/config.py")}
+
+ENV_READ = re.compile(r"(?:os\.)?(?:environ\.get|environ\[|getenv)\s*\(?")
+MEMBERSHIP = re.compile(r"\b(?:not\s+)?in\b")
+
+
+def statement_lines(path: Path):
+    """Yield (first_lineno, logical_statement) merging continuation lines.
+
+    A paren-balanced accumulator is enough here: flag parsing that
+    spreads an ``environ.get(...) not in (...)`` over several physical
+    lines still forms one logical statement.
+    """
+    buffer: list[str] = []
+    start = 0
+    depth = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.split("#", 1)[0]
+        if not buffer:
+            start = lineno
+        buffer.append(stripped)
+        depth += (
+            stripped.count("(") + stripped.count("[") + stripped.count("{")
+            - stripped.count(")") - stripped.count("]") - stripped.count("}")
+        )
+        if depth <= 0:
+            yield start, " ".join(buffer)
+            buffer = []
+            depth = 0
+    if buffer:
+        yield start, " ".join(buffer)
+
+
+def check(root: Path) -> list[str]:
+    findings: list[str] = []
+    for path in sorted((root / "src").rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative in EXEMPT:
+            continue
+        for lineno, statement in statement_lines(path):
+            match = ENV_READ.search(statement)
+            if match is None:
+                continue
+            if MEMBERSHIP.search(statement, match.end()):
+                findings.append(
+                    f"{relative}:{lineno}: raw env-flag membership test — "
+                    f"use repro.core.config.env_flag() instead"
+                )
+    return findings
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    findings = check(root)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(
+            f"{len(findings)} raw env-flag parse(s); see "
+            f"repro.core.config.env_flag",
+            file=sys.stderr,
+        )
+        return 1
+    print("env-flag lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
