@@ -45,9 +45,15 @@ def main() -> None:
         Triple(f"w:{i:04d}", "word:text", w) for i, w in enumerate(WORDS)
     ]
     config = StoreConfig(seed=21, replication=3)
-    store = QueryEngine.build(
+    # The context manager tears down the engine's fan-out executor even
+    # if a demo act raises mid-way.
+    with QueryEngine.build(
         n_peers=48, triples=triples, config=config, memoize=False
-    )
+    ) as store:
+        run_demo(store, config)
+
+
+def run_demo(store: QueryEngine, config: StoreConfig) -> None:
     network = store.network
     print(
         f"{network.n_peers} peers, {network.n_partitions} partitions, "

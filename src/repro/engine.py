@@ -375,7 +375,7 @@ class QueryEngine:
         """
         from repro.query.statistics import collect_statistics
 
-        with self._recorded():
+        with self.recorded():
             collected = collect_statistics(
                 self.ctx, attributes, sample_partitions
             )
@@ -420,28 +420,28 @@ class QueryEngine:
         """``Similar(s, a, d)`` — instance level; ``attribute=''`` for schema."""
         if isinstance(strategy, str):
             strategy = SimilarityStrategy.from_name(strategy)
-        with self._recorded():
+        with self.recorded():
             return similar(self.ctx, search, attribute, d, strategy=strategy)
 
     def similar_numeric(
         self, attribute: str, center: float, distance: float
     ) -> list[MatchedObject]:
         """Numeric similarity: values within ``distance`` of ``center``."""
-        with self._recorded():
+        with self.recorded():
             return numeric_similar(self.ctx, attribute, center, distance)
 
     def sim_join(
         self, left_attribute: str, right_attribute: str, d: int, **kwargs
     ) -> SimJoinResult:
         """``SimJoin(ln, rn, d)`` over the full left column (Algorithm 3)."""
-        with self._recorded():
+        with self.recorded():
             return sim_join(self.ctx, left_attribute, right_attribute, d, **kwargs)
 
     def sim_join_anchored(
         self, left_attribute: str, search: str, right_attribute: str, d: int
     ) -> SimJoinResult:
         """The evaluation workload's anchored similarity join."""
-        with self._recorded():
+        with self.recorded():
             return anchored_sim_join(
                 self.ctx, left_attribute, search, right_attribute, d
             )
@@ -456,7 +456,7 @@ class QueryEngine:
         """Numeric top-N (Algorithm 4) with MIN/MAX/NN ranking."""
         if isinstance(rank, str):
             rank = RankFunction(rank.upper())
-        with self._recorded():
+        with self.recorded():
             return top_n_numeric(
                 self.ctx, attribute, n, rank, reference, fetch_full_objects=True
             )
@@ -465,22 +465,22 @@ class QueryEngine:
         self, attribute: str, search: str, n: int, max_distance: int = 5
     ) -> TopNResult:
         """String nearest-neighbour top-N (iterative deepening)."""
-        with self._recorded():
+        with self.recorded():
             return top_n_string_nn(self.ctx, attribute, search, n, max_distance)
 
     def lookup(self, oid: str) -> tuple[Triple, ...]:
         """Fetch the complete object stored under ``key(oid)``."""
-        with self._recorded():
+        with self.recorded():
             return lookup_object(self.ctx, oid)
 
     def select(self, attribute: str, value: ValueType) -> list[MatchedObject]:
         """Exact selection ``attribute = value``."""
-        with self._recorded():
+        with self.recorded():
             return select_equals(self.ctx, attribute, value)
 
     def keyword(self, value: ValueType) -> list[Triple]:
         """Keyword query: triples with ``value`` under any attribute."""
-        with self._recorded():
+        with self.recorded():
             return keyword_lookup(self.ctx, value)
 
     # -- introspection -------------------------------------------------------------------------
@@ -503,12 +503,16 @@ class QueryEngine:
         return self._last_cost
 
     @contextmanager
-    def _recorded(self):
+    def recorded(self):
         """Charge the wrapped operation's message delta to ``stats``.
 
         Also re-checks the mutation token (memo validity) and attaches
         any adaptive decisions taken during the operation to the
-        resulting :class:`CostReport`.
+        resulting :class:`CostReport`.  Public so composite flows built
+        from raw operator calls — the service layer's streaming top-N
+        runs its deepening rounds against ``engine.ctx`` directly — can
+        account as *one* recorded operation (one :meth:`last_cost`
+        delta, one fault session, one ``stats`` entry).
         """
         self.check_mutations()
         session = self._begin_fault_session()

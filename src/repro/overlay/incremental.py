@@ -44,7 +44,7 @@ from __future__ import annotations
 import random
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import StoreConfig
 from repro.core.errors import OverlayError

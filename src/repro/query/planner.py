@@ -29,7 +29,6 @@ from repro.query.ast import (
     Const,
     DistCall,
     SelectQuery,
-    SortDirection,
     TriplePattern,
     Var,
 )

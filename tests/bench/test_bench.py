@@ -12,7 +12,7 @@ from repro.bench.experiment import (
     run_cell,
 )
 from repro.bench.report import PANELS, format_panel, render_csv, shape_check
-from repro.bench.sweep import SweepResult, sweep
+from repro.bench.sweep import sweep
 from repro.bench.workload import (
     JOIN_DISTANCES,
     TOP_N_SIZES,

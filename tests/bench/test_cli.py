@@ -1,6 +1,5 @@
 """Unit tests for the ``python -m repro.bench`` CLI."""
 
-import os
 
 import pytest
 

@@ -20,9 +20,8 @@ from repro.overlay.incremental import (
     assert_networks_equivalent,
 )
 from repro.overlay.network import PGridNetwork
-from repro.storage.triple import Triple
 
-from tests.conftest import TEXT_ATTR, word_triples
+from tests.conftest import word_triples
 
 
 def prepared_entries(config):

@@ -7,7 +7,6 @@ from repro.core.errors import OverlayError
 from repro.overlay import trie
 from repro.overlay.membership import MembershipManager
 from repro.storage.indexing import EntryKind
-from repro.storage.triple import Triple
 
 from tests.conftest import TEXT_ATTR, WORDS, build_word_network
 

@@ -1,6 +1,5 @@
 """Unit tests for online routed publication."""
 
-import pytest
 
 from repro.core.config import StoreConfig
 from repro.storage.triple import Triple

@@ -4,8 +4,6 @@ import pytest
 
 from repro.core.config import StoreConfig
 from repro.core.errors import PartitionUnreachableError
-from repro.overlay.network import PGridNetwork
-from repro.storage.triple import Triple
 
 from tests.conftest import TEXT_ATTR, build_word_network
 

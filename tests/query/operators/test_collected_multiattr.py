@@ -15,7 +15,7 @@ from repro.query.operators.similar import similar
 from repro.similarity.edit_distance import edit_distance
 from repro.storage.triple import Triple
 
-from tests.conftest import LEN_ATTR, TEXT_ATTR, WORDS, build_word_network
+from tests.conftest import TEXT_ATTR, WORDS, build_word_network
 
 
 @pytest.fixture(scope="module")

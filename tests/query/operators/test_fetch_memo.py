@@ -6,7 +6,6 @@ any store mutation must invalidate affected entries (enforced through
 the per-entry version check even without an engine-level clear).
 """
 
-import pytest
 
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.query.operators.base import FetchObjectsMemo, OperatorContext

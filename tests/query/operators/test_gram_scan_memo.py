@@ -8,7 +8,7 @@ tallies, messages — across strategies, distances, and filter configs.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.config import SimilarityStrategy, StoreConfig
+from repro.core.config import SimilarityStrategy
 from repro.query.operators.base import OperatorContext
 from repro.query.operators.similar import GramScanMemo, similar
 from repro.similarity.filters import FilterConfig

@@ -8,7 +8,6 @@ sampled estimator, by contrast, is openly approximate and must say so in
 its result extras and keep the structural broadcast cost exact.
 """
 
-import pytest
 
 from repro.core.config import SimilarityStrategy, StoreConfig
 from repro.query.operators.base import OperatorContext

@@ -1,6 +1,5 @@
 """Integration tests for the VQL executor on the word and car stores."""
 
-import pytest
 
 from repro.similarity.edit_distance import edit_distance
 

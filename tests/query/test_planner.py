@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import PlanningError
-from repro.query.ast import SelectQuery, TriplePattern, Var, Const
+from repro.query.ast import SelectQuery, TriplePattern, Var
 from repro.query.parser import parse
 from repro.query.planner import AccessMethod, plan
 

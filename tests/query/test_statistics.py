@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.core.config import StoreConfig
 from repro.core.errors import QueryError
 from repro.query.operators.base import OperatorContext
 from repro.query.parser import parse
 from repro.query.planner import AccessMethod, plan
 from repro.query.statistics import (
     AttributeStatistics,
-    StatisticsCatalog,
     collect_statistics,
 )
 

@@ -1,0 +1,34 @@
+"""Helpers shared by the service-layer tests (imported by name)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.app import Request
+from repro.storage.triple import Triple
+
+ATTRIBUTE = "word:text"
+
+WORDS = [
+    "adaptive", "adapted", "adopted", "adapter", "chapter",
+    "overlay", "overlap", "overload", "storage", "strategy",
+    "stratagem", "partition", "partial", "replica", "replicate",
+    "resilient", "resilience", "redundant", "redundancy", "failure",
+]
+
+
+def make_triples() -> list[Triple]:
+    return [
+        Triple(f"w:{i:04d}", ATTRIBUTE, word)
+        for i, word in enumerate(WORDS)
+    ]
+
+
+def run(coro):
+    """Drive one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def post(path: str, payload: dict) -> Request:
+    return Request("POST", path, body=json.dumps(payload).encode())

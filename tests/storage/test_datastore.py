@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import StoreConfig
 from repro.overlay.hashing import CompositeKeyCodec
 from repro.storage.datastore import LocalDataStore
-from repro.storage.indexing import EntryFactory, EntryKind, IndexEntry
+from repro.storage.indexing import EntryFactory, EntryKind
 from repro.storage.triple import Triple
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import SimilarityStrategy
-from repro.overlay.messages import Message, MessageTracer, MessageType
+from repro.overlay.messages import Message, MessageType
 from repro.query.operators.base import OperatorContext
 from repro.query.operators.similar import similar
 from repro.simulation.replay import replay_latency, replay_operation

@@ -1,6 +1,5 @@
 """Integration tests for the VerticalStore facade."""
 
-import pytest
 
 from repro.core.config import RankFunction, SimilarityStrategy, StoreConfig
 from repro.core.store import VerticalStore

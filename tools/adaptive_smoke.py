@@ -26,15 +26,15 @@ def main() -> int:
         Triple(f"w:{i:04d}", "word:text", word)
         for i, word in enumerate(words)
     ]
-    engine = QueryEngine.build(
+    with QueryEngine.build(
         n_peers=32, triples=triples, config=StoreConfig(seed=1),
         strategy="adaptive",
-    )
-    engine.analyze(["word:text"])
-    result = engine.query(
-        "SELECT ?w WHERE { (?o,word:text,?w) "
-        "FILTER (dist(?w,'adaptor') <= 2) }"
-    )
+    ) as engine:
+        engine.analyze(["word:text"])
+        result = engine.query(
+            "SELECT ?w WHERE { (?o,word:text,?w) "
+            "FILTER (dist(?w,'adaptor') <= 2) }"
+        )
     matched = sorted(row["w"] for row in result.rows)
     print(f"rows: {matched}")
     if "adapter" not in matched:

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Bench-baseline drift check (stdlib only; the CI docs job runs it).
+
+Validates every committed ``benchmarks/BENCH_*.json`` against the
+structure its declared ``schema`` tag promises, so a malformed
+regenerated baseline fails in the fast docs job instead of surfacing at
+bench-tier runtime.  The checks are structural — required keys and
+value types — not numerical; regenerating a baseline with different
+measurements stays green, dropping or renaming a schema field does not.
+
+Usage::
+
+    python tools/check_bench_schema.py              # benchmarks/BENCH_*.json
+    python tools/check_bench_schema.py out/BENCH_serve.json [...]
+
+Exit status 0 when every file validates, 1 otherwise (each problem is
+reported on stderr as ``file: message``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+NUMBER = (int, float)
+
+
+class SchemaProblem(Exception):
+    """One validation failure, with a dotted path to the offender."""
+
+
+def _need(obj: dict, key: str, kinds, where: str):
+    if key not in obj:
+        raise SchemaProblem(f"{where}: missing key '{key}'")
+    value = obj[key]
+    if isinstance(value, bool) and bool not in (
+        kinds if isinstance(kinds, tuple) else (kinds,)
+    ):
+        raise SchemaProblem(f"{where}.{key}: expected {kinds}, got bool")
+    if not isinstance(value, kinds):
+        raise SchemaProblem(
+            f"{where}.{key}: expected {kinds}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _need_keys(obj: dict, keys, kinds, where: str):
+    for key in keys:
+        _need(obj, key, kinds, where)
+
+
+# -- per-schema validators -----------------------------------------------------
+
+
+def check_fig1_v4(data: dict) -> None:
+    scale = _need(data, "scale", dict, "$")
+    _need_keys(
+        scale,
+        ("words", "titles", "repetitions", "seed", "jobs", "fanout"),
+        int,
+        "scale",
+    )
+    _need(scale, "full", bool, "scale")
+    _need(scale, "adaptive", bool, "scale")
+    _need(scale, "naive_sample_rate", NUMBER, "scale")
+    peer_counts = _need(scale, "peer_counts", list, "scale")
+    if not all(isinstance(n, int) for n in peer_counts):
+        raise SchemaProblem("scale.peer_counts: expected a list of ints")
+    datasets = _need(data, "datasets", dict, "$")
+    if not datasets:
+        raise SchemaProblem("datasets: empty")
+    for name, dataset in datasets.items():
+        where = f"datasets.{name}"
+        _need(dataset, "sweep_seconds", NUMBER, where)
+        cells = _need(dataset, "cells", list, where)
+        if not cells:
+            raise SchemaProblem(f"{where}.cells: empty")
+        for index, cell in enumerate(cells):
+            cell_where = f"{where}.cells[{index}]"
+            _need(cell, "peers", int, cell_where)
+            _need_keys(
+                cell, ("wall_seconds", "build_seconds"), NUMBER, cell_where
+            )
+            _need_keys(
+                cell, ("total_entries", "stored_payload_bytes"), int, cell_where
+            )
+            strategies = _need(cell, "strategies", dict, cell_where)
+            for strategy, series in strategies.items():
+                series_where = f"{cell_where}.strategies.{strategy}"
+                _need(series, "messages", int, series_where)
+                _need(series, "megabytes", NUMBER, series_where)
+
+
+def check_micro_v2(data: dict) -> None:
+    _need_keys(
+        _need(data, "params", dict, "$"),
+        ("seed", "words", "entries", "probe_keys", "candidates", "distance"),
+        int,
+        "params",
+    )
+    ops = _need(data, "ops", dict, "$")
+    if not ops:
+        raise SchemaProblem("ops: empty")
+    for name, op in ops.items():
+        where = f"ops.{name}"
+        _need_keys(
+            op, ("seconds_per_call", "best_seconds_per_call"), NUMBER, where
+        )
+        _need(op, "calls", int, where)
+    cost_model = _need(data, "cost_model", dict, "$")
+    _need(cost_model, "per_strategy", dict, "cost_model")
+    _need(cost_model, "chosen_within_2x_of_best", NUMBER, "cost_model")
+    _need(data, "speedups", dict, "$")
+
+
+def check_fault_v1(data: dict) -> None:
+    scale = _need(data, "scale", dict, "$")
+    _need_keys(
+        scale,
+        ("words", "peers", "replication", "queries", "churn_inserts", "seed"),
+        int,
+        "scale",
+    )
+    _need(scale, "drop_probability", NUMBER, "scale")
+    _need(scale, "fractions", list, "scale")
+    cells = _need(data, "cells", list, "$")
+    if not cells:
+        raise SchemaProblem("cells: empty")
+    for index, cell in enumerate(cells):
+        where = f"cells[{index}]"
+        _need(cell, "fail_fraction", NUMBER, where)
+        _need_keys(cell, ("failed_peers", "dark_partitions"), int, where)
+        _need_keys(cell, ("under_failure", "repair", "post_repair"), dict, where)
+        _need(cell, "consistent_after_repair", bool, where)
+    _need(data, "elapsed_seconds", NUMBER, "$")
+
+
+def check_serve_v1(data: dict) -> None:
+    scale = _need(data, "scale", dict, "$")
+    _need_keys(scale, ("words", "peers", "seed", "max_inflight"), int, "scale")
+    _need_keys(
+        scale, ("rate", "duration_seconds", "cost_budget"), NUMBER, "scale"
+    )
+    transport = _need(scale, "transport", str, "scale")
+    if transport not in ("inprocess", "http"):
+        raise SchemaProblem(f"scale.transport: unknown value {transport!r}")
+    results = _need(data, "results", dict, "$")
+    _need_keys(
+        results,
+        ("offered", "completed", "partial", "rejected", "errors"),
+        int,
+        "results",
+    )
+    _need_keys(results, ("elapsed_seconds", "sustained_qps"), NUMBER, "results")
+    latency = _need(results, "latency_ms", dict, "results")
+    _need_keys(latency, ("p50", "p95", "p99", "mean", "max"), NUMBER,
+               "results.latency_ms")
+    by_kind = _need(results, "latency_ms_by_kind", dict, "results")
+    for kind, summary in by_kind.items():
+        where = f"results.latency_ms_by_kind.{kind}"
+        _need(summary, "count", int, where)
+        _need_keys(summary, ("p50", "p95", "p99"), NUMBER, where)
+    timeline = _need(results, "qps_timeline", list, "results")
+    if not all(isinstance(v, int) for v in timeline):
+        raise SchemaProblem("results.qps_timeline: expected a list of ints")
+    per_strategy = _need(results, "per_strategy_cost", dict, "results")
+    for strategy, bucket in per_strategy.items():
+        where = f"results.per_strategy_cost.{strategy}"
+        _need_keys(bucket, ("queries", "messages", "payload_bytes"), int, where)
+    admission = _need(results, "admission", dict, "results")
+    _need_keys(
+        admission,
+        ("admitted", "completed", "rejected_capacity", "rejected_overload"),
+        int,
+        "results.admission",
+    )
+
+
+#: Declared schema tag -> validator.  Adding a schema version means
+#: adding exactly one entry here (and a benchmarks/README.md section).
+VALIDATORS = {
+    "repro-bench-fig1/v4": check_fig1_v4,
+    "repro-bench-micro/v2": check_micro_v2,
+    "repro-bench-fault/v1": check_fault_v1,
+    "repro-bench-serve/v1": check_serve_v1,
+}
+
+
+def check_file(path: Path) -> list[str]:
+    """All problems of one baseline file, as human-readable strings."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable JSON ({exc})"]
+    if not isinstance(data, dict):
+        return [f"{path}: top level must be a JSON object"]
+    schema = data.get("schema")
+    if not isinstance(schema, str):
+        return [f"{path}: missing 'schema' tag"]
+    validator = VALIDATORS.get(schema)
+    if validator is None:
+        known = ", ".join(sorted(VALIDATORS))
+        return [f"{path}: unknown schema {schema!r} (known: {known})"]
+    try:
+        validator(data)
+    except SchemaProblem as exc:
+        return [f"{path}: [{schema}] {exc}"]
+    return []
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        paths = sorted((root / "benchmarks").glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    for path in paths:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"bench schemas OK ({len(paths)} files)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
