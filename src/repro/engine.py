@@ -46,8 +46,12 @@ import random
 from collections.abc import Iterable, Sequence
 from contextlib import contextmanager
 
+from dataclasses import dataclass, field
+
 from repro.core.config import RankFunction, SimilarityStrategy, StoreConfig
+from repro.core.errors import ConfigError
 from repro.core.stats import QueryStats
+from repro.overlay.churn import ChurnController, ChurnReport
 from repro.overlay.fanout import FanOutExecutor
 from repro.overlay.faults import FaultInjector, FaultMode, FaultPlan, RetryPolicy
 from repro.overlay.messages import CostReport, MessageTracer
@@ -79,6 +83,25 @@ if True:  # deferred import target for type checkers
     if TYPE_CHECKING:  # pragma: no cover
         from repro.bench.latency import LatencyModel
         from repro.query.statistics import StatisticsCatalog
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`QueryEngine.recover` call did.
+
+    ``divergent_partitions`` lists the partitions anti-entropy repair had
+    to touch (replicas that missed writes while offline); exactly these
+    partitions' memo entries were invalidated — zero divergence means
+    zero invalidation.
+    """
+
+    recovered_peers: int = 0
+    divergent_partitions: list[int] = field(default_factory=list)
+    entries_copied: int = 0
+
+    @property
+    def data_changed(self) -> bool:
+        return bool(self.divergent_partitions)
 
 
 class QueryEngine:
@@ -116,7 +139,21 @@ class QueryEngine:
         ``None``/``0``/``1`` (the default) keeps everything serial.
         Engines with a fan-out installed should be :meth:`close`\\ d (or
         used as context managers) to release the pool's threads.
+    memo_maintenance:
+        What a mutation routed through the engine's write path
+        (:meth:`insert`, :meth:`delete`, :meth:`recover`) does to the
+        workload memos and statistics: ``"delta"`` (the default)
+        invalidates only the affected key partitions' memo entries and
+        patches the statistics catalog in place; ``"drop"`` reproduces
+        the pre-delta behaviour (every memo cleared wholesale, catalog
+        untouched) — kept for the mutation benchmark's baseline arm.
+        Out-of-band store changes (anything mutating a peer's store
+        without going through the engine) still trip
+        :meth:`check_mutations` and drop everything, in both modes.
     """
+
+    #: Valid ``memo_maintenance`` modes.
+    MEMO_MAINTENANCE_MODES = ("delta", "drop")
 
     def __init__(
         self,
@@ -131,9 +168,17 @@ class QueryEngine:
         share_verifiers: bool = True,
         naive_sample_rate: float = 0.0,
         parallel_fanout: int | None = None,
+        memo_maintenance: str = "delta",
     ):
         self.network = network
         self.config = network.config
+        if memo_maintenance not in self.MEMO_MAINTENANCE_MODES:
+            raise ConfigError(
+                f"memo_maintenance must be one of "
+                f"{self.MEMO_MAINTENANCE_MODES}, got {memo_maintenance!r}"
+            )
+        self.memo_maintenance = memo_maintenance
+        self._churn: ChurnController | None = None
         if isinstance(strategy, str):
             strategy = SimilarityStrategy.from_name(strategy)
 
@@ -334,14 +379,135 @@ class QueryEngine:
     def insert(self, triples: Iterable[Triple], respect_online: bool = False) -> int:
         """Index and place triples; returns the number of entries stored.
 
-        Mutations invalidate the workload memos (checked immediately, and
-        again before every recorded operation).  ``respect_online`` skips
-        offline replicas — the churn setting, where inserting while a
-        replica is down leaves it divergent until anti-entropy repair.
+        The explicit write path: the per-mutation effect is mapped to the
+        affected key partitions, and — in ``"delta"`` maintenance mode —
+        only those partitions' memo entries are invalidated while the
+        statistics catalog is patched in place (``"drop"`` mode clears
+        every memo wholesale instead).  ``respect_online`` skips offline
+        replicas — the churn setting, where inserting while a replica is
+        down leaves it divergent until anti-entropy repair
+        (:meth:`recover`).
         """
-        count = self.network.insert_triples(triples, respect_online=respect_online)
-        self.check_mutations()
-        return count
+        triples = list(triples)
+        entries = list(self.network.entry_factory.entries_for_all(triples))
+        applied, affected = self.network.apply_entries(
+            entries, respect_online=respect_online
+        )
+        self._note_write(affected)
+        self._patch_statistics(triples, sign=+1)
+        return applied
+
+    def delete(self, triples: Iterable[Triple], respect_online: bool = False) -> int:
+        """Remove triples' index entries; returns entries actually removed.
+
+        The inverse of :meth:`insert`: callers pass the exact triples to
+        retract, every index entry they induced is removed from the
+        responsible partitions' (optionally only online) replicas, and
+        memo/statistics maintenance follows the same partition-scoped
+        delta path.  Deleting triples that were never stored is a no-op
+        that invalidates nothing.
+        """
+        triples = list(triples)
+        entries = list(self.network.entry_factory.entries_for_all(triples))
+        applied, affected = self.network.apply_entries(
+            entries, respect_online=respect_online, remove=True
+        )
+        self._note_write(affected)
+        if applied:
+            self._patch_statistics(triples, sign=-1)
+        return applied
+
+    # -- churn ------------------------------------------------------------------------
+
+    @property
+    def churn(self) -> ChurnController:
+        """The engine-owned churn driver (created lazily, seeded)."""
+        if self._churn is None:
+            self._churn = ChurnController(
+                self.network, seed=self.config.seed + 29
+            )
+        return self._churn
+
+    def fail_peers(
+        self, peer_ids: Sequence[int], protect_partitions: bool = False
+    ) -> ChurnReport:
+        """Take specific peers offline through the engine.
+
+        Going offline changes no store, so no memo entry or statistic is
+        touched — partition-keyed memos stay valid because replicas hold
+        identical data and cached entries carry per-store version checks.
+        This is the churn half of the write path: stores can no longer
+        change behind the engine's back, and peer failure/recovery is
+        explicit instead of reaching into the network.
+        """
+        return self.churn.fail_peers(
+            list(peer_ids), protect_partitions=protect_partitions
+        )
+
+    def fail_fraction(
+        self, fraction: float, protect_partitions: bool = True
+    ) -> ChurnReport:
+        """Take a random fraction of peers offline through the engine."""
+        return self.churn.fail_fraction(
+            fraction, protect_partitions=protect_partitions
+        )
+
+    def recover(
+        self, repair: bool = True, charge_messages: bool = False
+    ) -> "RecoveryReport":
+        """Bring every offline peer back; optionally run anti-entropy.
+
+        Recovery alone changes no store.  With ``repair`` (the default)
+        the engine audits replica consistency and repairs each divergent
+        partition (writes missed while a replica was down), then
+        invalidates exactly the repaired partitions' memo entries — a
+        fail/recover cycle with zero net data change leaves every memo
+        intact, where the old wholesale path dropped them all.
+        ``charge_messages`` prices the anti-entropy traffic on the tracer
+        under the ``repair`` phase.
+        """
+        from repro.overlay.replication import audit_replicas, repair_partition
+
+        recovered = self.churn.recover_all()
+        report = RecoveryReport(recovered_peers=recovered)
+        if not repair:
+            return report
+        audit = audit_replicas(self.network)
+        report.divergent_partitions = list(audit.divergent_partitions)
+        for partition_index in audit.divergent_partitions:
+            report.entries_copied += repair_partition(
+                self.network, partition_index, charge_messages=charge_messages
+            )
+        if report.divergent_partitions:
+            self._note_write(set(report.divergent_partitions))
+        return report
+
+    # -- write-path maintenance ---------------------------------------------------------
+
+    def _note_write(self, affected: set[int]) -> None:
+        """Apply one engine-routed write's memo effect.
+
+        Re-reads the network mutation token (so :meth:`check_mutations`
+        does not later mistake this write for an out-of-band one), then
+        invalidates per the maintenance mode: only ``affected``
+        partitions' memo entries in ``"delta"`` mode, everything in
+        ``"drop"`` mode.
+        """
+        self._mutation_token = self.network.store_version_token()
+        if not affected:
+            return
+        if self.memo_maintenance == "drop":
+            self.clear_memos()
+            return
+        for memo in (self.naive_memo, self.gram_scan_memo, self.fetch_memo):
+            if memo is not None:
+                memo.invalidate_partitions(affected)
+
+    def _patch_statistics(self, triples: Sequence[Triple], sign: int) -> None:
+        """Delta-maintain the statistics catalog for an applied write."""
+        catalog = self.ctx.catalog
+        if catalog is not None and catalog.by_attribute:
+            catalog.apply_triples_delta(triples, sign, self.config)
 
     # -- VQL ----------------------------------------------------------------------------
 
@@ -488,6 +654,34 @@ class QueryEngine:
     @property
     def n_peers(self) -> int:
         return self.network.n_peers
+
+    @property
+    def store_version(self) -> int:
+        """The network-wide store mutation token, as currently stored.
+
+        Monotone: every store write anywhere bumps it.  The service layer
+        exposes it so clients can tell which store state an answer (or a
+        ``/stats`` reading) reflects.
+        """
+        return self.network.store_version_token()
+
+    def memo_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/invalidation counters of every installed memo."""
+        stats: dict[str, dict[str, int]] = {}
+        for name, memo in (
+            ("naive", self.naive_memo),
+            ("gram_scan", self.gram_scan_memo),
+            ("fetch", self.fetch_memo),
+        ):
+            if memo is None:
+                continue
+            stats[name] = {
+                "hits": memo.hits,
+                "misses": memo.misses,
+                "invalidations": memo.invalidations,
+                "entries": len(memo),
+            }
+        return stats
 
     @property
     def catalog(self) -> "StatisticsCatalog | None":

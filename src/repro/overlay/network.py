@@ -346,6 +346,57 @@ class PGridNetwork:
         flush(index)
         return count
 
+    def apply_entries(
+        self,
+        entries: Sequence[IndexEntry],
+        respect_online: bool = False,
+        remove: bool = False,
+    ) -> tuple[int, set[int]]:
+        """Add (or remove) pre-built entries; report affected partitions.
+
+        The write primitive of the engine's explicit mutation path:
+        entries are grouped by responsible partition, applied to every
+        (optionally only online) replica, and the set of touched
+        partition indices comes back so the caller can invalidate exactly
+        those partitions' memo entries and statistics.  ``remove=True``
+        deletes instead of adding; a removal only counts when at least
+        one contacted replica actually stored the entry (deleting absent
+        data is a no-op that touches nothing).  Returns ``(applied,
+        affected_partition_indices)``.
+        """
+        per_partition: dict[int, list[IndexEntry]] = {}
+        for entry in entries:
+            index = trie.find_responsible(self._paths, entry.key)
+            per_partition.setdefault(index, []).append(entry)
+        applied = 0
+        affected: set[int] = set()
+        for index, partition_entries in per_partition.items():
+            touched = False
+            if remove:
+                for entry in partition_entries:
+                    removed_here = False
+                    for peer_id in self.partitions[index].peer_ids:
+                        peer = self.peers[peer_id]
+                        if respect_online and not peer.online:
+                            continue
+                        if peer.store.remove(entry):
+                            removed_here = True
+                    if removed_here:
+                        applied += 1
+                        touched = True
+            else:
+                for peer_id in self.partitions[index].peer_ids:
+                    peer = self.peers[peer_id]
+                    if respect_online and not peer.online:
+                        continue
+                    peer.store.add_bulk(partition_entries)
+                    touched = True
+                if touched:
+                    applied += len(partition_entries)
+            if touched:
+                affected.add(index)
+        return applied, affected
+
     def insert_entry(self, entry: IndexEntry, respect_online: bool = False) -> None:
         """Place one pre-built index entry (incremental insertion)."""
         partition = self.partition_for(entry.key)

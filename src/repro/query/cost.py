@@ -164,6 +164,35 @@ class StrategyCostModel:
         prefix = self.network.codec.attr_prefix(attribute)
         return max(1, len(self.network.partitions_under(prefix)))
 
+    def _reachable_fraction(self, attribute: str) -> float:
+        """Fraction of the attribute's region partitions with a live replica.
+
+        The replica-aware leg of the model: under churn, a partition with
+        every replica offline contributes neither broadcast targets nor
+        rows, so region sizes and row counts scale by this fraction.  On
+        a healthy network (the common case, checked with one short-
+        circuiting scan) the fraction is exactly 1.0 and every prediction
+        stays bit-identical to the churn-unaware model.
+        """
+        if all(peer.online for peer in self.network.peers):
+            return 1.0
+        if attribute == "":
+            partitions = self.network.partitions
+        else:
+            prefix = self.network.codec.attr_prefix(attribute)
+            partitions = self.network.partitions_under(prefix)
+        if not partitions:
+            return 1.0
+        live = sum(
+            1
+            for partition in partitions
+            if any(
+                self.network.peer(peer_id).online
+                for peer_id in partition.peer_ids
+            )
+        )
+        return live / len(partitions)
+
     @staticmethod
     def _distinct_partitions(partitions: int, keys: float) -> float:
         """Expected distinct partitions hit by ``keys`` uniform keys."""
@@ -252,6 +281,11 @@ class StrategyCostModel:
     def _predict_naive(self, s, attribute, d, stats) -> CostPrediction:
         region = self._region_size(attribute)
         matches = self._expected_matches(stats, d)
+        reach = self._reachable_fraction(attribute)
+        if reach < 1.0:
+            # Dark partitions receive no query copy and return no rows.
+            region = max(1, round(region * reach))
+            matches *= reach
         hops = self._route_hops()
         # Routed entry, shower forwards, one query copy per region peer,
         # one result return per matching partition, then the initiator's
@@ -268,7 +302,8 @@ class StrategyCostModel:
             + matches * (OID_BYTES + self._mean_value_len(stats, s) + 2)
             + matches * self._object_bytes(stats)
         )
-        rows = stats.row_count if stats is not None else 0
+        # Replica-aware rows: only reachable partitions' rows take part.
+        rows = (stats.row_count if stats is not None else 0) * reach
         per_peer = rows / region if region else 0.0
         latency = (
             self.latency_model.network_time_ms(
@@ -296,6 +331,14 @@ class StrategyCostModel:
         if stats is not None:
             candidates = min(candidates, float(stats.row_count))
         matches = self._expected_matches(stats, d)
+        reach = self._reachable_fraction(attribute)
+        if reach < 1.0:
+            # Unreachable gram partitions are skipped (degraded mode) and
+            # contribute no postings; scale the fan-out and the
+            # data-dependent terms by the live fraction.
+            gram_partitions = max(1.0, gram_partitions * reach)
+            candidates *= reach
+            matches *= reach
 
         hops = self._route_hops()
         # Batched gram lookups: entry walk + forwards + one delegation per

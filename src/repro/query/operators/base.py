@@ -333,6 +333,20 @@ class FetchObjectsMemo:
         """Drop all cached rebuilds (call after any data mutation)."""
         self._cache.clear()
 
+    def invalidate_partitions(self, partitions: "set[int]") -> int:
+        """Drop cached rebuilds of the given partitions only.
+
+        The delta-maintenance path of :class:`~repro.engine.QueryEngine`:
+        a write that touched a known set of key partitions invalidates
+        exactly those partitions' cached objects, and everything else
+        survives.  Returns the number of entries dropped.
+        """
+        stale = [sig for sig in self._cache if sig[0] in partitions]
+        for sig in stale:
+            del self._cache[sig]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._cache)
 

@@ -152,6 +152,25 @@ class NaiveWorkloadMemo:
         """Drop all cached outcomes (call after any data mutation)."""
         self._cache.clear()
 
+    def invalidate_partitions(self, partitions: set[int]) -> int:
+        """Drop cached outcomes whose scanned region touches ``partitions``.
+
+        A region comparison records the store version of every partition
+        it scanned; a write mapped to its affected partitions invalidates
+        exactly the comparisons that covered one of them — comparisons
+        over other attributes' regions survive.  Returns the number of
+        cached outcomes dropped.
+        """
+        stale = [
+            key
+            for key, comparison in self._cache.items()
+            if not partitions.isdisjoint(comparison.store_versions)
+        ]
+        for key in stale:
+            del self._cache[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._cache)
 

@@ -174,6 +174,21 @@ class GramScanMemo:
         with self._lock:
             self._cache.clear()
 
+    def invalidate_partitions(self, partitions: set[int]) -> int:
+        """Drop cached scans of the given partitions only.
+
+        Cache signatures lead with the partition index, so a write mapped
+        to its affected key partitions (the engine's delta-maintenance
+        path) surgically removes exactly the scans that write could have
+        changed.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [sig for sig in self._cache if sig[0] in partitions]
+            for sig in stale:
+                del self._cache[sig]
+            self.invalidations += len(stale)
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._cache)
 

@@ -98,6 +98,61 @@ class AttributeStatistics:
             return 0.0
         return self.gram_rows / self.distinct_gram_estimate
 
+    # -- delta maintenance --------------------------------------------------------
+
+    def apply_value_delta(self, value, sign: int, q: int, count_grams: bool) -> None:
+        """Patch this summary for one inserted (``sign=+1``) or deleted
+        (``sign=-1``) triple value.
+
+        Counts (rows, numeric/string split, gram rows, the string-length
+        mean) are maintained exactly for the applied delta; the *sampled*
+        parts of the summary degrade gracefully instead of being
+        recomputed: the distinct estimates stay put (a single write
+        rarely moves them, and they only feed orderings), inserts expand
+        numeric min/max and the matching histogram bucket, and deletes
+        leave min/max alone (shrinking them would need a rescan) while
+        decrementing the bucket.  The result is a catalog that tracks
+        mutation direction without re-sampling the overlay — the
+        wholesale alternative the delta-maintenance arc replaces.
+        """
+        self.row_count = max(0, self.row_count + sign)
+        if is_numeric(value):
+            v = float(value)
+            self.numeric_rows = max(0, self.numeric_rows + sign)
+            if sign > 0:
+                if self.numeric_min is None or v < self.numeric_min:
+                    self.numeric_min = v
+                if self.numeric_max is None or v > self.numeric_max:
+                    self.numeric_max = v
+            if (
+                self.histogram
+                and self.numeric_min is not None
+                and self.numeric_max is not None
+            ):
+                span = self.numeric_max - self.numeric_min
+                if span > 0 and self.numeric_min <= v <= self.numeric_max:
+                    index = min(
+                        len(self.histogram) - 1,
+                        int((v - self.numeric_min) / span * len(self.histogram)),
+                    )
+                    self.histogram[index] = max(0, self.histogram[index] + sign)
+        else:
+            text = str(value)
+            previous_rows = self.string_rows
+            self.string_rows = max(0, self.string_rows + sign)
+            if self.string_rows > 0:
+                self.mean_string_length = max(
+                    0.0,
+                    (self.mean_string_length * previous_rows + sign * len(text))
+                    / self.string_rows,
+                )
+            else:
+                self.mean_string_length = 0.0
+            if count_grams:
+                # ``len + q - 1`` extended grams per string value (see
+                # ``repro.storage.qgrams.positional_qgrams``).
+                self.gram_rows = max(0, self.gram_rows + sign * (len(text) + q - 1))
+
     def estimate_similarity_rows(self, d: int) -> float:
         """Expected rows within edit distance ``d`` of a random string.
 
@@ -126,6 +181,27 @@ class StatisticsCatalog:
 
     def attributes(self) -> list[str]:
         return sorted(self.by_attribute)
+
+    def apply_triples_delta(self, triples, sign: int, config) -> int:
+        """Patch per-attribute summaries for an applied write.
+
+        Called by the engine's explicit write path with the exact triples
+        it inserted (``sign=+1``) or deleted (``sign=-1``); only
+        attributes that have been ``analyze``-d carry summaries and are
+        patched — writes to never-analyzed attributes cost nothing here.
+        Returns the number of triples that patched a summary.
+        """
+        if sign not in (-1, 1):
+            raise QueryError(f"delta sign must be +1 or -1, got {sign}")
+        patched = 0
+        count_grams = config.index_instance_grams
+        for triple in triples:
+            stats = self.by_attribute.get(triple.attribute)
+            if stats is None:
+                continue
+            stats.apply_value_delta(triple.value, sign, config.q, count_grams)
+            patched += 1
+        return patched
 
 
 def collect_statistics(

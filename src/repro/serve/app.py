@@ -14,6 +14,8 @@ Endpoints
 =======  ======================  ====================================
 GET      ``/healthz``            liveness: peers, partitions, uptime
 GET      ``/stats``              engine totals + admission counters
+POST     ``/mutate/insert``      ``{triples: [{oid, attribute, value}]}``
+POST     ``/mutate/delete``      same body; removes matching entries
 POST     ``/query/exact``        ``{attribute, value}``
 POST     ``/query/similar``      ``{search, attribute, d, strategy?}``
 POST     ``/query/topn``         ``{attribute, search, n, max_distance?}``
@@ -62,6 +64,7 @@ from repro.engine import QueryEngine
 from repro.query.operators.similar import similar
 from repro.query.operators.topn import MAX_ROUNDS, top_n_string_nn
 from repro.serve.admission import AdmissionController, Ticket
+from repro.storage.triple import Triple
 
 #: Nominal predicted message cost for point lookups (exact / VQL parse
 #: cost is dominated by routing, O(log n) hops) — only used to weigh
@@ -171,6 +174,8 @@ class QueryService:
         self.routes: dict[tuple[str, str], Handler] = {
             ("GET", "/healthz"): self.handle_healthz,
             ("GET", "/stats"): self.handle_stats,
+            ("POST", "/mutate/insert"): self.handle_insert,
+            ("POST", "/mutate/delete"): self.handle_delete,
             ("POST", "/query/exact"): self.handle_exact,
             ("POST", "/query/similar"): self.handle_similar,
             ("POST", "/query/topn"): self.handle_top_n,
@@ -257,6 +262,36 @@ class QueryService:
                 "admission": self.admission.snapshot(),
                 "served_by_endpoint": dict(self.served_by_endpoint),
                 "strategy_tally": dict(self.strategy_tally),
+                "store_version": self.engine.store_version,
+                "memos": self.engine.memo_stats(),
+            },
+        )
+
+    # -- mutation endpoints ---------------------------------------------------------
+
+    async def handle_insert(self, request: Request) -> Response:
+        return await self._mutate(request, self.engine.insert)
+
+    async def handle_delete(self, request: Request) -> Response:
+        return await self._mutate(request, self.engine.delete)
+
+    async def _mutate(self, request: Request, op: Callable) -> Response:
+        """Apply one write batch through the engine's explicit write path.
+
+        Mutations share the single-worker executor with queries, so a
+        write is never interleaved with a running query: every response
+        either predates the write entirely or sees its full effect —
+        including the memo/statistics delta maintenance the engine does
+        inside ``op``.
+        """
+        triples = _parse_triples(request.json())
+        applied = await self._run(op, triples)
+        return Response(
+            200,
+            {
+                "applied": applied,
+                "requested": len(triples),
+                "store_version": self.engine.store_version,
             },
         )
 
@@ -609,6 +644,27 @@ def _field_int(
     if value < minimum:
         raise BadRequest(f"'{name}' must be >= {minimum}")
     return value
+
+
+def _parse_triples(body: dict) -> list[Triple]:
+    raw = body.get("triples")
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest("'triples' must be a non-empty list")
+    triples: list[Triple] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise BadRequest("each triple must be a JSON object")
+        oid = item.get("oid")
+        attribute = item.get("attribute")
+        value = item.get("value")
+        if not isinstance(oid, str) or not oid:
+            raise BadRequest("triple 'oid' must be a non-empty string")
+        if not isinstance(attribute, str) or not attribute:
+            raise BadRequest("triple 'attribute' must be a non-empty string")
+        if not isinstance(value, (str, int, float)) or isinstance(value, bool):
+            raise BadRequest("triple 'value' must be a string or a number")
+        triples.append(Triple(oid, attribute, value))
+    return triples
 
 
 def _parse_strategy(body: dict) -> SimilarityStrategy | None:

@@ -132,10 +132,26 @@ class TestAdaptive:
 
 
 class TestMutationInvalidation:
-    def test_insert_clears_memos(self, engine):
+    def test_insert_invalidates_affected_partitions(self, engine):
         engine.similar("apple", TEXT_ATTR, 1, strategy="strings")
         engine.similar("apple", TEXT_ATTR, 1)
         assert len(engine.naive_memo) > 0
+        assert len(engine.fetch_memo) > 0
+        before = len(engine.fetch_memo)
+        engine.insert([Triple("x:new", TEXT_ATTR, "apricot")])
+        # Whole-region memos overlap the written partitions and drop;
+        # per-partition fetch entries for untouched partitions survive.
+        assert len(engine.naive_memo) == 0
+        assert len(engine.gram_scan_memo) == 0
+        assert len(engine.fetch_memo) < before
+        assert engine.fetch_memo.invalidations > 0
+
+    def test_insert_clears_memos_in_drop_mode(self):
+        engine = QueryEngine.build(
+            16, word_triples(), StoreConfig(seed=7), memo_maintenance="drop"
+        )
+        engine.similar("apple", TEXT_ATTR, 1, strategy="strings")
+        engine.similar("apple", TEXT_ATTR, 1)
         assert len(engine.fetch_memo) > 0
         engine.insert([Triple("x:new", TEXT_ATTR, "apricot")])
         assert len(engine.naive_memo) == 0

@@ -177,6 +177,59 @@ def check_serve_v1(data: dict) -> None:
     )
 
 
+def check_mutate_v1(data: dict) -> None:
+    scale = _need(data, "scale", dict, "$")
+    _need_keys(
+        scale,
+        (
+            "words", "peers", "replication", "steps", "queries_per_step",
+            "write_batch", "query_pool", "recovery_inserts", "seed",
+        ),
+        int,
+        "scale",
+    )
+    _need(scale, "recovery_fail_fraction", NUMBER, "scale")
+    workload = _need(data, "workload", dict, "$")
+    _need_keys(workload, ("ops", "queries", "writes"), int, "workload")
+    arms = _need(data, "arms", dict, "$")
+    for name in ("delta", "drop", "reference"):
+        arm = _need(arms, name, dict, "arms")
+        where = f"arms.{name}"
+        _need_keys(
+            arm,
+            ("messages", "payload_bytes", "queries", "memo_hits",
+             "memo_misses", "memo_invalidations", "memo_entries_end"),
+            int,
+            where,
+        )
+        _need_keys(arm, ("wall_seconds", "memo_hit_rate"), NUMBER, where)
+    staleness = _need(data, "staleness", dict, "$")
+    _need_keys(
+        staleness,
+        ("queries_compared", "stale_answers_delta", "stale_answers_drop"),
+        int,
+        "staleness",
+    )
+    retention = _need(data, "retention", dict, "$")
+    _need_keys(
+        retention,
+        ("delta_hit_rate", "drop_hit_rate", "advantage"),
+        NUMBER,
+        "retention",
+    )
+    recovery = _need(data, "recovery", dict, "$")
+    _need_keys(
+        recovery,
+        ("failed_peers", "recovered_peers", "divergent_partitions",
+         "entries_copied", "repair_messages", "repair_payload_bytes",
+         "memo_entries_before", "memo_entries_after"),
+        int,
+        "recovery",
+    )
+    _need(recovery, "wall_seconds", NUMBER, "recovery")
+    _need(data, "elapsed_seconds", NUMBER, "$")
+
+
 #: Declared schema tag -> validator.  Adding a schema version means
 #: adding exactly one entry here (and a benchmarks/README.md section).
 VALIDATORS = {
@@ -184,6 +237,7 @@ VALIDATORS = {
     "repro-bench-micro/v2": check_micro_v2,
     "repro-bench-fault/v1": check_fault_v1,
     "repro-bench-serve/v1": check_serve_v1,
+    "repro-bench-mutate/v1": check_mutate_v1,
 }
 
 
