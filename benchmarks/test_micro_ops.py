@@ -17,6 +17,7 @@ import pytest
 from repro.core.config import StoreConfig
 from repro.overlay.hashing import CompositeKeyCodec, OrderPreservingStringHash
 from repro.similarity.edit_distance import edit_distance, edit_distance_within
+from repro.similarity.kernels import MyersQuery, ReferenceKernel, resolve_kernel
 from repro.similarity.verify import BatchVerifier
 from repro.storage.datastore import LocalDataStore
 from repro.storage.indexing import EntryFactory
@@ -41,6 +42,14 @@ def test_edit_distance_titles(benchmark):
 def test_banded_edit_distance_rejects_fast(benchmark):
     # The banded variant's selling point: distant strings abort early.
     result = benchmark(edit_distance_within, TITLE, "x" * len(TITLE), 3)
+    assert result == 4
+
+
+def test_myers_edit_distance_rejects_fast(benchmark):
+    """The bit-parallel pair member: same probe, precompiled masks."""
+    state = MyersQuery(TITLE)
+    other = "x" * len(TITLE)
+    result = benchmark(state.within, other, 3)
     assert result == 4
 
 
@@ -139,15 +148,34 @@ def test_gram_lookup_scan(benchmark, bible_store):
 
 
 def test_verification_batched(benchmark, verification_pile):
+    """The shared-prefix banded DP batch (pinned to the reference kernel).
+
+    Both batched benchmarks time verification only — a fresh verifier
+    plus one ``distances`` pass; consuming the dict is caller-side work
+    identical across kernels, so it happens outside the timed region.
+    """
     query, candidates = verification_pile
+    kernel = ReferenceKernel()
 
     def batched():
-        verifier = BatchVerifier(query, 2)
-        distances = verifier.distances(candidates)
-        return sum(1 for c in candidates if distances[c] <= 2)
+        return BatchVerifier(query, 2, kernel=kernel).distances(candidates)
 
-    matched = benchmark(batched)
-    assert matched == sum(
+    distances = benchmark(batched)
+    assert sum(1 for c in candidates if distances[c] <= 2) == sum(
+        1 for c in candidates if edit_distance_within(query, c, 2) <= 2
+    )
+
+
+def test_verification_batched_myers(benchmark, verification_pile):
+    """The bit-parallel pair member (numpy prefilter when importable)."""
+    query, candidates = verification_pile
+    kernel = resolve_kernel("myers")
+
+    def batched():
+        return BatchVerifier(query, 2, kernel=kernel).distances(candidates)
+
+    distances = benchmark(batched)
+    assert sum(1 for c in candidates if distances[c] <= 2) == sum(
         1 for c in candidates if edit_distance_within(query, c, 2) <= 2
     )
 

@@ -21,18 +21,30 @@ from repro.core.config import StoreConfig
 from repro.datasets.bible import bible_triples
 from repro.overlay.hashing import CompositeKeyCodec
 from repro.similarity.edit_distance import edit_distance_within
+from repro.similarity.kernels import (
+    MyersQuery,
+    ReferenceKernel,
+    numpy_available,
+    resolve_kernel,
+)
 from repro.similarity.verify import BatchVerifier
 from repro.storage.datastore import LocalDataStore
 from repro.storage.indexing import EntryFactory
 from repro.storage.qgrams import positional_qgrams, qgram_tuples
 
-#: Schema tag embedded in ``BENCH_micro.json``.  v2 adds the
-#: ``cost_model`` accuracy section (predicted-vs-measured messages per
-#: strategy); the v1 ``ops``/``speedups`` fields are unchanged.
-MICRO_SCHEMA = "repro-bench-micro/v2"
+#: Schema tag embedded in ``BENCH_micro.json``.  v3 (additive over v2)
+#: adds the bit-parallel kernel op pairs (``verify_batched_myers`` vs
+#: ``verify_batched``, ``edit_distance_myers`` vs
+#: ``edit_distance_banded``), their ``speedups`` entries, and a
+#: ``kernels`` identity section; v2 added the ``cost_model`` accuracy
+#: section; the v1 ``ops``/``speedups`` fields are unchanged throughout.
+MICRO_SCHEMA = "repro-bench-micro/v3"
 
 #: Corpus size feeding the micro fixtures (small; ops are microseconds).
 MICRO_WORDS = 1500
+
+#: Candidate pile size fed to the batched-verification ops.
+MICRO_CANDIDATES = 4000
 
 #: Edit-distance radius used by the verification ops.
 MICRO_DISTANCE = 2
@@ -67,7 +79,11 @@ def _time_op(
     }
 
 
-def run_cost_model_accuracy(seed: int = 0) -> dict[str, object]:
+def run_cost_model_accuracy(
+    seed: int = 0,
+    words: int = COST_MODEL_WORDS,
+    peers: int = COST_MODEL_PEERS,
+) -> dict[str, object]:
     """Predicted-vs-measured cost of the adaptive strategy model.
 
     Builds one mid-size network, collects statistics the way the
@@ -86,9 +102,9 @@ def run_cost_model_accuracy(seed: int = 0) -> dict[str, object]:
     config = StoreConfig(
         seed=seed, index_values=False, index_schema_grams=False
     )
-    corpus = bible_triples(COST_MODEL_WORDS, seed=seed)
+    corpus = bible_triples(words, seed=seed)
     strings = sorted({str(t.value) for t in corpus})
-    network = build_network(corpus, COST_MODEL_PEERS, config)
+    network = build_network(corpus, peers, config)
     engine = QueryEngine(network)
     ctx = engine.context(strategy=ALL_STRATEGIES[0])
     catalog = collect_statistics(ctx, [TEXT_ATTRIBUTE])
@@ -122,8 +138,8 @@ def run_cost_model_accuracy(seed: int = 0) -> dict[str, object]:
     return {
         "params": {
             "seed": seed,
-            "words": COST_MODEL_WORDS,
-            "peers": COST_MODEL_PEERS,
+            "words": words,
+            "peers": peers,
             "queries": len(queries),
         },
         "per_strategy": {
@@ -140,13 +156,24 @@ def run_cost_model_accuracy(seed: int = 0) -> dict[str, object]:
     }
 
 
-def run_micro(seed: int = 0) -> dict[str, object]:
-    """Run every micro op; returns the ``BENCH_micro.json`` payload."""
+def run_micro(
+    seed: int = 0,
+    words_count: int = MICRO_WORDS,
+    candidates_count: int = MICRO_CANDIDATES,
+    cost_model_words: int = COST_MODEL_WORDS,
+    cost_model_peers: int = COST_MODEL_PEERS,
+) -> dict[str, object]:
+    """Run every micro op; returns the ``BENCH_micro.json`` payload.
+
+    The scale parameters exist for the CI kernel-parity smoke (which
+    runs the suite once per forced ``REPRO_EDIT_KERNEL``); committed
+    baselines always use the defaults.
+    """
     config = StoreConfig(
         seed=seed, index_values=False, index_schema_grams=False
     )
     factory = EntryFactory(config, CompositeKeyCodec(config))
-    triples = bible_triples(MICRO_WORDS, seed=seed)
+    triples = bible_triples(words_count, seed=seed)
     entries = list(factory.entries_for_all(triples))
     store = LocalDataStore()
     store.add_bulk(entries)
@@ -156,9 +183,16 @@ def run_micro(seed: int = 0) -> dict[str, object]:
     words = sorted({str(t.value) for t in triples})
     # A candidate pile with natural repeats — what one query's final
     # verification actually sees across gram peers and replicas.
-    candidates = [rng.choice(words) for __ in range(4000)]
+    candidates = [rng.choice(words) for __ in range(candidates_count)]
     query = rng.choice(words)
     title = "portrait of a young woman in blue near the mill after the rain"
+
+    # The paired kernels: the historical banded DP (the always-available
+    # reference) vs the runtime default Myers kernel (with the numpy
+    # prefilter when importable) — pinned explicitly so the pair stays
+    # meaningful whatever REPRO_EDIT_KERNEL says.
+    reference_kernel = ReferenceKernel()
+    myers_kernel = resolve_kernel("myers")
 
     def gram_lookup_indexed() -> int:
         return sum(len(store.lookup(key)) for key in probe_keys)
@@ -166,10 +200,20 @@ def run_micro(seed: int = 0) -> dict[str, object]:
     def gram_lookup_scan() -> int:
         return sum(len(store.lookup_scan(key)) for key in probe_keys)
 
-    def verify_batched() -> int:
-        verifier = BatchVerifier(query, MICRO_DISTANCE)
-        distances = verifier.distances(candidates)
-        return sum(1 for c in candidates if distances[c] <= MICRO_DISTANCE)
+    # The batched ops time verification only (fresh verifier + one
+    # ``distances`` pass); consuming the returned dict is caller-side
+    # work identical in both pair members, so it stays outside the
+    # timed region.
+    def verify_batched() -> dict:
+        verifier = BatchVerifier(query, MICRO_DISTANCE, kernel=reference_kernel)
+        return verifier.distances(candidates)
+
+    def verify_batched_myers() -> dict:
+        verifier = BatchVerifier(query, MICRO_DISTANCE, kernel=myers_kernel)
+        return verifier.distances(candidates)
+
+    # The kernels must agree before their timings are worth recording.
+    assert verify_batched() == verify_batched_myers()
 
     def verify_single() -> int:
         return sum(
@@ -193,16 +237,26 @@ def run_micro(seed: int = 0) -> dict[str, object]:
     def edit_distance_banded() -> int:
         return edit_distance_within(title, "x" * len(title), 3)
 
+    # Masks precompiled once, as the kernel uses them: one query's
+    # MyersQuery serves thousands of candidate scans, so the amortized
+    # per-candidate cost is the meaningful pair member.
+    title_state = MyersQuery(title)
+
+    def edit_distance_myers() -> int:
+        return title_state.within("x" * len(title), 3)
+
     ops = {
         "gram_lookup_indexed": _time_op(gram_lookup_indexed),
         "gram_lookup_scan": _time_op(gram_lookup_scan),
         "verify_batched": _time_op(verify_batched),
+        "verify_batched_myers": _time_op(verify_batched_myers),
         "verify_single": _time_op(verify_single),
         "tokenize_tuples": _time_op(tokenize_tuples),
         "tokenize_dataclass": _time_op(tokenize_dataclass),
         "entry_generation": _time_op(entry_generation),
         "payload_total_cached": _time_op(payload_total_cached),
         "edit_distance_banded": _time_op(edit_distance_banded),
+        "edit_distance_myers": _time_op(edit_distance_myers),
     }
 
     def ratio(slow: str, fast: str) -> float:
@@ -214,21 +268,89 @@ def run_micro(seed: int = 0) -> dict[str, object]:
         "schema": MICRO_SCHEMA,
         "params": {
             "seed": seed,
-            "words": MICRO_WORDS,
+            "words": words_count,
             "entries": len(entries),
             "probe_keys": len(probe_keys),
             "candidates": len(candidates),
             "distance": MICRO_DISTANCE,
         },
+        "kernels": {
+            "default": resolve_kernel(None).name,
+            "batched_pair": {
+                "verify_batched": reference_kernel.name,
+                "verify_batched_myers": myers_kernel.name,
+            },
+            "numpy_prefilter": numpy_available(),
+        },
         "ops": ops,
-        "cost_model": run_cost_model_accuracy(seed=seed),
+        "cost_model": run_cost_model_accuracy(
+            seed=seed, words=cost_model_words, peers=cost_model_peers
+        ),
         "speedups": {
             "gram_lookup_indexed_vs_scan": ratio(
                 "gram_lookup_scan", "gram_lookup_indexed"
             ),
             "verify_batched_vs_single": ratio("verify_single", "verify_batched"),
+            "verify_myers_vs_batched": ratio(
+                "verify_batched", "verify_batched_myers"
+            ),
+            "edit_distance_myers_vs_banded": ratio(
+                "edit_distance_banded", "edit_distance_myers"
+            ),
             "tokenize_tuples_vs_dataclass": ratio(
                 "tokenize_dataclass", "tokenize_tuples"
             ),
         },
     }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """``python -m repro.bench.micro`` — run the suite, write the baseline.
+
+    The standalone entry point exists for the CI kernel-parity smoke:
+    run once per forced ``REPRO_EDIT_KERNEL`` value, schema-check both
+    outputs, and compare their measured message series (which must be
+    kernel-independent).  ``--quick`` shrinks every fixture for CI;
+    committed baselines use the defaults via ``python -m repro.bench
+    --json``.
+    """
+    import argparse
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json-dir", default=None, help="write BENCH_micro.json here"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale fixtures (CI smoke; numbers are meaningless)",
+    )
+    args = parser.parse_args(argv)
+    kwargs: dict[str, int] = {"seed": args.seed}
+    if args.quick:
+        kwargs.update(
+            words_count=400,
+            candidates_count=1000,
+            cost_model_words=200,
+            cost_model_peers=64,
+        )
+    payload = run_micro(**kwargs)
+    print(
+        f"micro bench done: default kernel "
+        f"{payload['kernels']['default']}, "
+        f"verify speedup {payload['speedups']['verify_myers_vs_batched']:.2f}x"
+    )
+    if args.json_dir is not None:
+        os.makedirs(args.json_dir, exist_ok=True)
+        path = os.path.join(args.json_dir, "BENCH_micro.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,7 +74,8 @@ from repro.query.operators.similar import GramScanMemo, SimilarResult, similar
 from repro.query.operators.simjoin import SimJoinResult, anchored_sim_join, sim_join
 from repro.query.operators.topn import TopNResult, top_n_numeric, top_n_string_nn
 from repro.similarity.filters import FilterConfig
-from repro.similarity.verify import VerifierPool
+from repro.similarity.kernels import EditKernel, resolve_kernel
+from repro.similarity.verify import DEFAULT_POOL_LIMIT, VerifierPool
 from repro.storage.triple import Triple, ValueType
 
 if True:  # deferred import target for type checkers
@@ -126,6 +127,19 @@ class QueryEngine:
         ablations need that).
     share_verifiers:
         Install a shared :class:`~repro.similarity.verify.VerifierPool`.
+    edit_kernel:
+        Edit-distance kernel for the final verification step — an
+        :class:`~repro.similarity.kernels.EditKernel` instance, a name
+        (``"auto"``/``"reference"``/``"myers"``), or ``None`` for the
+        process default (the strictly-parsed ``REPRO_EDIT_KERNEL``
+        environment variable, falling back to ``auto`` = Myers
+        bit-parallel with the numpy prefilter when importable).
+        Kernels change wall-clock only; every match set and measured
+        message/byte series is kernel-independent.
+    verifier_pool_limit:
+        Bound on live verifiers in the shared pool (LRU eviction beyond
+        it); ``None`` keeps the pool default.  Distance memos are
+        store-independent, so eviction is always safe.
     naive_sample_rate:
         Default sampled-broadcast estimator rate for contexts built by
         this engine (0 = exact).
@@ -169,6 +183,8 @@ class QueryEngine:
         naive_sample_rate: float = 0.0,
         parallel_fanout: int | None = None,
         memo_maintenance: str = "delta",
+        edit_kernel: EditKernel | str | None = None,
+        verifier_pool_limit: int | None = None,
     ):
         self.network = network
         self.config = network.config
@@ -194,7 +210,19 @@ class QueryEngine:
         self.fetch_memo = (
             FetchObjectsMemo(network) if flag(memoize_fetches) else None
         )
-        self.verifier_pool = VerifierPool() if share_verifiers else None
+        self.edit_kernel = resolve_kernel(edit_kernel)
+        self.verifier_pool = (
+            VerifierPool(
+                kernel=self.edit_kernel,
+                max_verifiers=(
+                    verifier_pool_limit
+                    if verifier_pool_limit is not None
+                    else DEFAULT_POOL_LIMIT
+                ),
+            )
+            if share_verifiers
+            else None
+        )
         self.fanout = (
             FanOutExecutor(parallel_fanout)
             if parallel_fanout is not None and parallel_fanout > 1
@@ -284,6 +312,7 @@ class QueryEngine:
                 else naive_sample_rate
             ),
             verifier_pool=self.verifier_pool,
+            edit_kernel=self.edit_kernel,
             gram_scan_memo=self.gram_scan_memo,
             fetch_memo=self.fetch_memo,
             catalog=catalog,
@@ -521,7 +550,9 @@ class QueryEngine:
         """
         self.check_mutations()
         session = self._begin_fault_session()
+        verifier_before = self._verifier_snapshot()
         result = self.executor.execute_text(text, initiator_id)
+        result.cost.verifier = self._verifier_delta(verifier_before)
         if session is not None:
             result.cost.completeness = session.completeness()
         self._last_cost = result.cost
@@ -683,6 +714,33 @@ class QueryEngine:
             }
         return stats
 
+    def verifier_stats(self) -> dict[str, object]:
+        """Kernel identity plus shared-pool counters (``/stats`` payload).
+
+        Engines built with ``share_verifiers=False`` still report the
+        kernel; pool traffic and kernel counters need the shared pool.
+        """
+        if self.verifier_pool is None:
+            return {"kernel": self.edit_kernel.name, "shared_pool": False}
+        return {"shared_pool": True, **self.verifier_pool.stats()}
+
+    def _verifier_snapshot(self) -> dict[str, int] | None:
+        pool = self.verifier_pool
+        return pool.counters.as_dict() if pool is not None else None
+
+    def _verifier_delta(
+        self, before: dict[str, int] | None
+    ) -> dict[str, object] | None:
+        """Kernel-counter delta for one recorded operation, or ``None``."""
+        if before is None:
+            return None
+        after = self.verifier_pool.counters.as_dict()
+        delta: dict[str, object] = {
+            key: after[key] - before[key] for key in after
+        }
+        delta["kernel"] = self.verifier_pool.kernel.name
+        return delta
+
     @property
     def catalog(self) -> "StatisticsCatalog | None":
         """The statistics catalog consulted by planner and cost model."""
@@ -711,6 +769,7 @@ class QueryEngine:
         self.check_mutations()
         session = self._begin_fault_session()
         before = self.network.tracer.snapshot()
+        verifier_before = self._verifier_snapshot()
         decision_mark = len(self.ctx.decision_log)
         try:
             yield
@@ -718,6 +777,7 @@ class QueryEngine:
             after = self.network.tracer.snapshot()
             cost = CostReport.from_delta(before, after)
             cost.decisions = list(self.ctx.decision_log[decision_mark:])
+            cost.verifier = self._verifier_delta(verifier_before)
             if session is not None:
                 cost.completeness = session.completeness()
             self._last_cost = cost

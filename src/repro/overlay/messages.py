@@ -185,6 +185,15 @@ class CostReport:
     #: partitions, dropped candidates, and the retry/failover tallies of
     #: this operation.
     completeness: object | None = None
+    #: Verification-kernel diagnostics of this operation — a plain dict
+    #: (untyped here, like ``decisions``, to keep the accounting layer
+    #: dependency-free) with the kernel name and the operation's delta of
+    #: the shared pool's :class:`~repro.similarity.verify.KernelCounters`
+    #: (``computed``, ``memo_hits``, ``prefilter_rejected``,
+    #: ``batches_flat``, ``batches_shared``).  ``None`` when the engine
+    #: runs without a shared verifier pool.  Kernels change wall-clock
+    #: only, so nothing here ever feeds back into measured series.
+    verifier: dict | None = None
 
     @classmethod
     def from_delta(cls, before: TraceSnapshot, after: TraceSnapshot) -> "CostReport":

@@ -31,7 +31,8 @@ from repro.core.errors import ExecutionError
 from repro.overlay.network import PGridNetwork
 from repro.overlay.routing import Router
 from repro.similarity.filters import FilterConfig
-from repro.similarity.verify import VerifierPool
+from repro.similarity.kernels import EditKernel
+from repro.similarity.verify import BatchVerifier, VerifierPool
 from repro.storage.indexing import EntryKind
 from repro.storage.triple import Triple, ValueType
 
@@ -99,6 +100,11 @@ class OperatorContext:
     #: across a benchmark cell's strategy replays — share one DP memo.
     #: Verification is deterministic, so sharing never changes results.
     verifier_pool: VerifierPool | None = None
+    #: Edit-distance kernel for verifiers built *without* a pool (a pool
+    #: carries its own kernel).  ``None`` resolves the process default
+    #: (``REPRO_EDIT_KERNEL``); kernels change wall-clock only, never
+    #: match sets, so this never affects results.
+    edit_kernel: "EditKernel | str | None" = None
     #: Whole-workload memo for gram-peer candidate scans (see
     #: :class:`repro.query.operators.similar.GramScanMemo`).  ``None``
     #: disables it; like ``naive_memo``, valid only over static stores.
@@ -148,6 +154,17 @@ class OperatorContext:
     def random_initiator(self) -> int:
         """Pick a random online peer to initiate a query."""
         return self.network.random_peer_id(self.rng)
+
+    def make_verifier(self, query: str, d: int) -> BatchVerifier:
+        """A verifier for ``(query, d)`` — pooled when a pool is installed.
+
+        The single construction point operators should use: pooled
+        verifiers share memos (and the pool's kernel) across queries,
+        pool-less ones still honour the context's ``edit_kernel``.
+        """
+        if self.verifier_pool is not None:
+            return self.verifier_pool.get(query, d)
+        return BatchVerifier(query, d, kernel=self.edit_kernel)
 
     # -- adaptive strategy resolution ---------------------------------------------
 

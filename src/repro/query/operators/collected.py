@@ -148,7 +148,7 @@ def similar_collected(
         initiator_id=initiator_id,
         phase="oid_lookup",
     )
-    verifier = BatchVerifier(s, d)
+    verifier = BatchVerifier(s, d, kernel=ctx.edit_kernel)
     verifier.distances(
         [
             candidate

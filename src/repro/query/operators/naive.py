@@ -325,14 +325,12 @@ def _region_verifier(
 
     A caller-supplied verifier is only valid at its own distance; banded
     memo computes draw a ``(s, band)`` verifier from the context's shared
-    pool when one is installed, and let ``_compare_region`` build a fresh
-    one otherwise.
+    pool when one is installed, and build a fresh one (on the context's
+    kernel) otherwise.
     """
     if band == d and verifier is not None:
         return verifier
-    if ctx.verifier_pool is not None:
-        return ctx.verifier_pool.get(s, band)
-    return None
+    return ctx.make_verifier(s, band)
 
 
 def _compare_region(

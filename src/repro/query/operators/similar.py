@@ -285,11 +285,7 @@ def similar(
     if initiator_id is None:
         initiator_id = ctx.random_initiator()
     if verifier is None:
-        verifier = (
-            ctx.verifier_pool.get(s, d)
-            if ctx.verifier_pool is not None
-            else BatchVerifier(s, d)
-        )
+        verifier = ctx.make_verifier(s, d)
 
     schema_level = attribute == ""
     query_grams = _decompose(s, ctx.config.q, d, chosen)

@@ -264,6 +264,7 @@ class QueryService:
                 "strategy_tally": dict(self.strategy_tally),
                 "store_version": self.engine.store_version,
                 "memos": self.engine.memo_stats(),
+                "verifier": self.engine.verifier_stats(),
             },
         )
 
@@ -591,11 +592,15 @@ def _match_dict(match) -> dict:
 
 
 def _cost_dict(cost) -> dict:
-    return {
+    out = {
         "messages": cost.messages,
         "payload_bytes": cost.payload_bytes,
         "by_phase": dict(cost.by_phase),
     }
+    verifier = getattr(cost, "verifier", None)
+    if verifier is not None:
+        out["verifier"] = dict(verifier)
+    return out
 
 
 def _decision_dict(decision) -> dict:

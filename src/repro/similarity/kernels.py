@@ -1,0 +1,402 @@
+"""Edit-distance verification kernels — fast paths under one contract.
+
+Every kernel answers the same question as
+:func:`repro.similarity.edit_distance.edit_distance_within`: the exact
+edit distance between the query and a candidate when it is ``<= d``, the
+saturating sentinel ``d + 1`` otherwise.  Kernels change *wall-clock
+only* — match sets, memo contents and every measured message/byte series
+stay bit-identical whichever kernel runs (the property suite checks
+exactly that differential).
+
+Two kernels ship:
+
+* :class:`ReferenceKernel` — the pure-python banded DP.  Single probes
+  go through ``edit_distance_within``; batches through
+  :meth:`BatchVerifier._verify_sorted`'s shared-prefix path.  Always
+  available, property-tested, the ground truth the fast path is paired
+  against.
+* :class:`MyersKernel` — Myers' bit-parallel algorithm (JACM 1999).
+  The query is compiled once into per-character bitmasks
+  (:class:`MyersQuery`); each candidate is then verified in
+  ``O(len(candidate))`` word operations instead of ``O(d * len)`` DP
+  cells.  Queries up to 64 characters use a single int-as-bitvector
+  block; longer queries use the multi-block variant with carry
+  propagation between words.  Optionally, a numpy-vectorized unigram
+  count filter prunes whole candidate batches before any bit-parallel
+  work: strings within edit distance ``d`` must share at least
+  ``max(|a|, |b|) - d`` characters with the query (the q-gram lemma at
+  ``q = 1``), so candidates below that bound are rejected with zero
+  per-candidate python work.
+
+Selection is a runtime decision: ``QueryEngine(edit_kernel=...)`` takes
+a kernel instance or name, and the ``REPRO_EDIT_KERNEL`` environment
+variable (``auto`` / ``reference`` / ``myers``, parsed strictly via
+:func:`repro.core.config.env_choice`) sets the process default.
+``auto`` — the default — resolves to Myers with the numpy prefilter
+when numpy is importable and plain Myers otherwise; the kernel layer
+must degrade gracefully without numpy, which is a dev-only dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import env_choice
+from repro.core.errors import ConfigError
+from repro.similarity.edit_distance import edit_distance_within
+
+try:  # numpy is optional (requirements-dev only) — prefilter gates on it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
+#: Environment variable naming the process-default kernel.
+KERNEL_ENV = "REPRO_EDIT_KERNEL"
+
+#: Accepted spellings for ``REPRO_EDIT_KERNEL`` / ``edit_kernel=`` names.
+KERNEL_CHOICES = ("auto", "reference", "myers")
+
+#: Machine word width used by the bit-parallel kernel.
+WORD_BITS = 64
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+_HIGH_BIT = 1 << (WORD_BITS - 1)
+
+#: Batches smaller than this skip the numpy prefilter — the fixed cost
+#: of building the code arrays outweighs pruning a handful of strings.
+PREFILTER_MIN_BATCH = 8
+
+#: Queries with at most this many distinct characters test membership
+#: with per-character equality passes instead of ``np.isin``.
+_EQ_LOOP_MAX_ALPHABET = 32
+
+#: Multi-block queries fall back to the shared-prefix sorted path once a
+#: batch is at least this large: sorted natural-language candidates share
+#: prefixes the trie-style DP reuses, which beats re-running a
+#: multi-word bit-parallel scan per candidate.
+SHARED_FALLBACK_MIN_BATCH = 32
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy prefilter dependency is importable."""
+    return _np is not None
+
+
+class MyersQuery:
+    """One query compiled for bit-parallel scanning.
+
+    Holds the per-character bitmask table (``masks[block][ch]`` has bit
+    ``i % 64`` set iff ``query[i] == ch`` for positions in ``block``) so
+    one query verifies thousands of candidates without re-deriving
+    masks.  Instances are built once per :class:`BatchVerifier` and are
+    immutable afterwards.
+    """
+
+    __slots__ = ("query", "length", "blocks", "masks")
+
+    def __init__(self, query: str):
+        self.query = query
+        self.length = len(query)
+        self.blocks = max(1, (self.length + WORD_BITS - 1) // WORD_BITS)
+        masks: list[dict[str, int]] = [{} for __ in range(self.blocks)]
+        for index, ch in enumerate(query):
+            block = masks[index // WORD_BITS]
+            block[ch] = block.get(ch, 0) | (1 << (index % WORD_BITS))
+        self.masks = masks
+
+    def within(self, text: str, d: int) -> int:
+        """``edit_distance_within(self.query, text, d)``, bit-parallel."""
+        m = self.length
+        n = len(text)
+        if n - m > d or m - n > d:
+            return d + 1
+        if self.query == text:
+            return 0
+        if m == 0:
+            return n if n <= d else d + 1
+        if self.blocks == 1:
+            return self._within_one_block(text, d)
+        return self._within_multi_block(text, d)
+
+    def _within_one_block(self, text: str, d: int) -> int:
+        """Single-word Myers scan (queries of at most 64 characters).
+
+        Python ints are unbounded, so every complement and shift is
+        re-masked to the pattern width; ``score`` tracks the distance at
+        the pattern's last row and the scan exits early once even a
+        match-only suffix could not bring it back under ``d``.
+        """
+        m = self.length
+        mask = (1 << m) - 1
+        last = 1 << (m - 1)
+        get = self.masks[0].get
+        vp = mask
+        vn = 0
+        score = m
+        remaining = len(text)
+        for ch in text:
+            eq = get(ch, 0)
+            xv = eq | vn
+            xh = ((((eq & vp) + vp) & mask) ^ vp) | eq
+            ph = vn | (mask & ~(xh | vp))
+            mh = vp & xh
+            if ph & last:
+                score += 1
+            elif mh & last:
+                score -= 1
+            ph = ((ph << 1) | 1) & mask
+            vp = ((mh << 1) & mask) | (mask & ~(xv | ph))
+            vn = ph & xv
+            remaining -= 1
+            if score - remaining > d:
+                return d + 1
+        return score if score <= d else d + 1
+
+
+    def _within_multi_block(self, text: str, d: int) -> int:
+        """Multi-word Myers scan with horizontal carries between blocks.
+
+        ``hin``/``hout`` propagate the horizontal delta (-1/0/+1) from
+        each 64-bit block into the next; the score is read at the
+        pattern's true last row, so the phantom high bits of the final
+        block never influence the result (carries only propagate
+        upward).
+        """
+        blocks = self.blocks
+        masks = self.masks
+        last = 1 << ((self.length - 1) % WORD_BITS)
+        last_block = blocks - 1
+        vp = [_WORD_MASK] * blocks
+        vn = [0] * blocks
+        score = self.length
+        remaining = len(text)
+        for ch in text:
+            hin = 1
+            for b in range(blocks):
+                eq = masks[b].get(ch, 0)
+                pv = vp[b]
+                mv = vn[b]
+                xv = eq | mv
+                if hin < 0:
+                    eq |= 1
+                xh = ((((eq & pv) + pv) & _WORD_MASK) ^ pv) | eq
+                ph = mv | (_WORD_MASK & ~(xh | pv))
+                mh = pv & xh
+                if b == last_block:
+                    if ph & last:
+                        score += 1
+                    elif mh & last:
+                        score -= 1
+                    hout = 0
+                elif ph & _HIGH_BIT:
+                    hout = 1
+                elif mh & _HIGH_BIT:
+                    hout = -1
+                else:
+                    hout = 0
+                ph = (ph << 1) & _WORD_MASK
+                mh = (mh << 1) & _WORD_MASK
+                if hin > 0:
+                    ph |= 1
+                elif hin < 0:
+                    mh |= 1
+                vp[b] = mh | (_WORD_MASK & ~(xv | ph))
+                vn[b] = ph & xv
+                hin = hout
+            remaining -= 1
+            if score - remaining > d:
+                return d + 1
+        return score if score <= d else d + 1
+
+
+def myers_within(a: str, b: str, d: int) -> int:
+    """One-shot bit-parallel ``edit_distance_within(a, b, d)``.
+
+    Matches the reference contract exactly, including the degenerate
+    ``d < 0`` case (0 when equal, 1 otherwise).  For repeated probes of
+    one query, build a :class:`MyersQuery` (or use the kernel through
+    :class:`~repro.similarity.verify.BatchVerifier`) so masks are
+    computed once.
+    """
+    if d < 0:
+        return 0 if a == b else 1
+    return MyersQuery(a).within(b, d)
+
+
+# -- candidate prefilter -------------------------------------------------------
+
+
+def _prefilter_survivors(
+    query_codes, pending: list[str], query_length: int, d: int
+):
+    """Indices of ``pending`` that survive the unigram count filter.
+
+    Vectorized over the whole batch: the candidates are joined into one
+    UTF-32 buffer, each position is tested for membership in the query's
+    character set, and per-candidate common counts come from one
+    ``bincount``.  Counting *positions* (with repeats) against a
+    character *set* over-counts the true bag intersection, so the filter
+    only ever keeps too much — rejection is always sound.  Returns
+    ``None`` when the batch cannot be encoded (lone surrogates), which
+    simply skips the filter.
+    """
+    try:
+        joined = "".join(pending).encode("utf-32-le")
+    except UnicodeEncodeError:
+        return None
+    codes = _np.frombuffer(joined, dtype=_np.uint32)
+    lengths = _np.fromiter(map(len, pending), dtype=_np.intp, count=len(pending))
+    ids = _np.repeat(_np.arange(len(pending), dtype=_np.intp), lengths)
+    if len(query_codes) == 0:
+        member = _np.zeros(len(codes), dtype=bool)
+    elif len(query_codes) <= _EQ_LOOP_MAX_ALPHABET:
+        # A handful of equality passes beats np.isin's sort-based
+        # membership for the small alphabets real queries have.
+        member = codes == query_codes[0]
+        for code in query_codes[1:]:
+            member |= codes == code
+    else:  # pragma: no cover - queries with > 32 distinct characters
+        member = _np.isin(codes, query_codes)
+    common = _np.bincount(ids[member], minlength=len(pending))
+    bound = _np.maximum(lengths, query_length) - d
+    return _np.flatnonzero(common >= bound).tolist()
+
+
+# -- kernels -------------------------------------------------------------------
+
+
+class EditKernel:
+    """Interface verified batches and probes route through.
+
+    A kernel is stateless and shareable; :meth:`bind` compiles per-query
+    state once, and the bound object serves every probe and batch of
+    that :class:`~repro.similarity.verify.BatchVerifier`.
+    """
+
+    #: Identity reported in diagnostics (``CostReport.verifier``,
+    #: ``/stats``, ``BENCH_micro.json``).
+    name = "abstract"
+
+    def bind(self, query: str, d: int) -> "BoundKernel":
+        raise NotImplementedError
+
+
+class BoundKernel:
+    """Kernel state compiled for one ``(query, d)`` pair."""
+
+    __slots__ = ("d",)
+
+    def __init__(self, d: int):
+        self.d = d
+
+    def distance(self, candidate: str) -> int:
+        """Exact distance when ``<= d``, else the ``d + 1`` sentinel."""
+        raise NotImplementedError
+
+    def survivors(self, pending: list[str]):
+        """Batch prefilter: surviving indices, or ``None`` when inactive."""
+        return None
+
+    def prefers_shared(self, batch_size: int) -> bool:
+        """True when the sorted shared-prefix DP should run this batch."""
+        return True
+
+
+class _BoundReference(BoundKernel):
+    __slots__ = ("query",)
+
+    def __init__(self, query: str, d: int):
+        super().__init__(d)
+        self.query = query
+
+    def distance(self, candidate: str) -> int:
+        return edit_distance_within(self.query, candidate, self.d)
+
+
+class ReferenceKernel(EditKernel):
+    """The pure-python banded DP — always available, property-tested.
+
+    Batches keep the historical behaviour: every batch runs the sorted
+    shared-prefix dead-band path, so a reference-kernel verifier is
+    bit-for-bit the pre-kernel :class:`BatchVerifier`.
+    """
+
+    name = "reference"
+
+    def bind(self, query: str, d: int) -> BoundKernel:
+        return _BoundReference(query, d)
+
+
+class _BoundMyers(BoundKernel):
+    __slots__ = ("state", "query_codes")
+
+    def __init__(self, query: str, d: int, prefilter: bool):
+        super().__init__(d)
+        self.state = MyersQuery(query)
+        self.query_codes = None
+        if prefilter and _np is not None:
+            try:
+                self.query_codes = _np.unique(
+                    _np.frombuffer(
+                        query.encode("utf-32-le"), dtype=_np.uint32
+                    )
+                )
+            except UnicodeEncodeError:
+                self.query_codes = None
+
+    def distance(self, candidate: str) -> int:
+        return self.state.within(candidate, self.d)
+
+    def survivors(self, pending: list[str]):
+        if self.query_codes is None or len(pending) < PREFILTER_MIN_BATCH:
+            return None
+        return _prefilter_survivors(
+            self.query_codes, pending, self.state.length, self.d
+        )
+
+    def prefers_shared(self, batch_size: int) -> bool:
+        # Multi-block scans pay ``blocks`` words per candidate character;
+        # on large sorted batches the shared-prefix DP amortizes better.
+        return (
+            self.state.blocks > 1 and batch_size >= SHARED_FALLBACK_MIN_BATCH
+        )
+
+
+class MyersKernel(EditKernel):
+    """Bit-parallel kernel with an optional numpy batch prefilter."""
+
+    __slots__ = ("prefilter",)
+
+    def __init__(self, prefilter: bool | None = None):
+        if prefilter is None:
+            prefilter = numpy_available()
+        self.prefilter = bool(prefilter) and numpy_available()
+
+    @property
+    def name(self) -> str:
+        return "myers+prefilter" if self.prefilter else "myers"
+
+    def bind(self, query: str, d: int) -> BoundKernel:
+        return _BoundMyers(query, d, self.prefilter)
+
+
+def resolve_kernel(spec: "EditKernel | str | None" = None) -> EditKernel:
+    """Resolve a kernel instance, name, or the process default.
+
+    ``None`` consults ``REPRO_EDIT_KERNEL`` (strictly parsed — a value
+    outside :data:`KERNEL_CHOICES` raises
+    :class:`~repro.core.errors.ConfigError` instead of guessing), then
+    maps ``auto`` to Myers-with-prefilter when numpy is importable and
+    plain Myers otherwise.
+    """
+    if isinstance(spec, EditKernel):
+        return spec
+    if spec is None:
+        name = env_choice(KERNEL_ENV, KERNEL_CHOICES, "auto")
+    else:
+        name = spec.strip().lower()
+    if name == "reference":
+        return ReferenceKernel()
+    if name in ("auto", "myers"):
+        return MyersKernel()
+    raise ConfigError(
+        f"unknown edit kernel {spec!r} (choices: {'/'.join(KERNEL_CHOICES)})"
+    )

@@ -14,44 +14,101 @@ three kinds of work that this module recovers:
   re-deriving them per candidate.  A prefix whose band minimum already
   exceeds ``d`` is *dead*: every candidate extending it is rejected with
   no further DP work;
-* **length filtering** — candidates are bucketed by length first, so the
-  ``|len(a) - len(b)| <= d`` filter runs once per distinct length, not
-  once per candidate.
+* **length filtering** — the ``|len(a) - len(b)| <= d`` screen never
+  costs DP work: the flat path's vectorized count bound subsumes it
+  (with an inline guard when the prefilter is off), and the shared path
+  screens candidates before sorting.
 
-The verifier is provably equivalent to calling
+The per-candidate distance work itself routes through a pluggable
+:class:`~repro.similarity.kernels.EditKernel` — by default Myers'
+bit-parallel scan with a numpy count prefilter when numpy is importable
+(:func:`~repro.similarity.kernels.resolve_kernel`), with the banded DP
+retained as the always-available reference.  Kernels change wall-clock
+only: the verifier is provably equivalent to calling
 :func:`repro.similarity.edit_distance.edit_distance_within` per
-candidate — the property suite checks exactly that — so operators can
-swap it in without changing any match set.
+candidate — the property suite checks exactly that, per kernel — so
+operators can swap kernels without changing any match set.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+from collections import OrderedDict
 from collections.abc import Iterable
 
-from repro.similarity.edit_distance import edit_distance_within
+from repro.similarity.kernels import EditKernel, resolve_kernel
+
+#: Default bound on live verifiers in a :class:`VerifierPool`.  Each
+#: verifier's memo grows with the distinct candidates its query has
+#: seen, so bounding the verifier count bounds total memo memory in the
+#: long-lived service; distance memos are store-independent, making
+#: eviction always safe (never a correctness event).
+DEFAULT_POOL_LIMIT = 512
+
+
+class KernelCounters:
+    """Verification-work tallies, aggregated across verifiers.
+
+    One instance is shared by every verifier of a pool (so totals
+    survive verifier eviction); standalone verifiers get their own.
+    ``computed`` counts candidates that actually reached a kernel scan
+    or DP extension, ``memo_hits`` dict probes that skipped all work,
+    ``prefilter_rejected`` candidates the vectorized count filter
+    discarded before any scan, and ``batches_flat`` /
+    ``batches_shared`` record which batch path the kernel chose.
+    """
+
+    __slots__ = (
+        "computed",
+        "memo_hits",
+        "prefilter_rejected",
+        "batches_flat",
+        "batches_shared",
+    )
+
+    def __init__(self) -> None:
+        self.computed = 0
+        self.memo_hits = 0
+        self.prefilter_rejected = 0
+        self.batches_flat = 0
+        self.batches_shared = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class BatchVerifier:
     """Verifies candidate strings against one ``(query, d)`` pair.
 
-    Use :meth:`distances` for batches (sorted shared-prefix DP) and
-    :meth:`distance` for one-off probes; both return the exact edit
-    distance when it is ``<= d`` and the saturating sentinel ``d + 1``
-    otherwise, and both share one memo across the verifier's lifetime.
+    Use :meth:`distances` for batches and :meth:`distance` for one-off
+    probes; both return the exact edit distance when it is ``<= d`` and
+    the saturating sentinel ``d + 1`` otherwise, and both share one memo
+    across the verifier's lifetime.  ``kernel`` selects the distance
+    implementation (default: :func:`resolve_kernel`'s process default);
+    batches run either the kernel's flat per-candidate path or the
+    sorted shared-prefix DP below, whichever the kernel prefers for the
+    batch's size — the choice is recorded on ``counters``.
     """
 
-    __slots__ = ("query", "d", "_memo", "computed")
+    __slots__ = ("query", "d", "_memo", "computed", "kernel", "_bound", "counters")
 
-    def __init__(self, query: str, d: int):
+    def __init__(
+        self,
+        query: str,
+        d: int,
+        kernel: EditKernel | str | None = None,
+        counters: KernelCounters | None = None,
+    ):
         self.query = query
         self.d = d
         self._memo: dict[str, int] = {}
-        #: Distinct candidates actually sent through a DP (diagnostics:
-        #: ``len`` of every ``distances``/``distance`` input minus memo
-        #: and length-filter hits).
+        #: Distinct candidates actually sent through a kernel scan or DP
+        #: (diagnostics: ``len`` of every ``distances``/``distance``
+        #: input minus memo, length-filter and prefilter hits).
         self.computed = 0
+        self.kernel = resolve_kernel(kernel)
+        self._bound = self.kernel.bind(query, d)
+        self.counters = counters if counters is not None else KernelCounters()
 
     # -- single-candidate path ------------------------------------------------
 
@@ -60,9 +117,11 @@ class BatchVerifier:
         memo = self._memo
         found = memo.get(candidate)
         if found is not None:
+            self.counters.memo_hits += 1
             return found
-        result = edit_distance_within(self.query, candidate, self.d)
+        result = self._bound.distance(candidate)
         self.computed += 1
+        self.counters.computed += 1
         memo[candidate] = result
         return result
 
@@ -75,41 +134,94 @@ class BatchVerifier:
     def distances(self, candidates: Iterable[str]) -> dict[str, int]:
         """Distances for every distinct candidate, batched.
 
-        Candidates already memoized cost a dict probe; the rest are
-        length-bucketed, sorted, and verified with the shared-prefix
-        banded DP below.
+        Duplicates collapse first (``dict.fromkeys``, C-speed, keeps
+        first-appearance order); already-memoized candidates cost a dict
+        probe; the rest are verified through the kernel's preferred
+        batch path (flat bit-parallel scan or shared-prefix banded DP).
+        The ``|len(a) - len(b)| <= d`` filter costs no DP either way: the
+        flat path's count bound subsumes it (``max(n, m) - d`` exceeds
+        any possible common count when the gap is > ``d``) with an
+        inline guard for unfiltered candidates, and the shared path
+        screens before sorting.
         """
         memo = self._memo
+        counters = self.counters
         d = self.d
         reject = d + 1
         result: dict[str, int] = {}
-        queued: set[str] = set()
-        by_length: dict[int, list[str]] = defaultdict(list)
-        for candidate in candidates:
-            if candidate in result or candidate in queued:
-                continue
-            found = memo.get(candidate)
-            if found is not None:
-                result[candidate] = found
-            else:
-                queued.add(candidate)
-                by_length[len(candidate)].append(candidate)
-        if not by_length:
+        if memo:
+            fresh: list[str] = []
+            hits = 0
+            for candidate in dict.fromkeys(candidates):
+                found = memo.get(candidate)
+                if found is None:
+                    fresh.append(candidate)
+                else:
+                    hits += 1
+                    result[candidate] = found
+            counters.memo_hits += hits
+        else:
+            fresh = list(dict.fromkeys(candidates))
+        if not fresh:
             return result
-        # Length filter, once per distinct candidate length.
-        query_length = len(self.query)
-        pending: list[str] = []
-        for length, bucket in by_length.items():
-            if abs(length - query_length) > d:
-                for candidate in bucket:
+        if self._bound.prefers_shared(len(fresh)):
+            counters.batches_shared += 1
+            query_length = len(self.query)
+            pending = []
+            for candidate in fresh:
+                if abs(len(candidate) - query_length) > d:
                     memo[candidate] = reject
                     result[candidate] = reject
-            else:
-                pending.extend(bucket)
-        if pending:
-            pending.sort()
-            self._verify_sorted(pending, result)
+                else:
+                    pending.append(candidate)
+            if pending:
+                pending.sort()
+                self._verify_sorted(pending, result)
+        else:
+            counters.batches_flat += 1
+            self._verify_flat(fresh, result)
         return result
+
+    def _verify_flat(self, pending: list[str], result: dict[str, int]) -> None:
+        """Per-candidate kernel scans, after an optional batch prefilter.
+
+        The kernel's vectorized count filter (when active) rejects
+        candidates that provably exceed ``d`` — including every
+        length-incompatible one, since ``max(n, m) - d`` then exceeds
+        any achievable common count — with zero per-candidate python
+        work; survivors each get one bit-parallel scan.  When the
+        prefilter is inactive the loop screens lengths inline, so
+        length-rejected candidates never count as ``computed`` on
+        either path.  Results are exact-or-sentinel, identical to the
+        shared-prefix path.
+        """
+        memo = self._memo
+        counters = self.counters
+        d = self.d
+        reject = d + 1
+        query_length = len(self.query)
+        keep = self._bound.survivors(pending)
+        if keep is not None and len(keep) < len(pending):
+            counters.prefilter_rejected += len(pending) - len(keep)
+            # Provisionally reject everything in bulk, then overwrite the
+            # survivors with their real scans below.
+            rejected = dict.fromkeys(pending, reject)
+            memo.update(rejected)
+            result.update(rejected)
+            pending = [pending[index] for index in keep]
+        distance = self._bound.distance
+        computed = 0
+        for candidate in pending:
+            if abs(len(candidate) - query_length) > d:
+                memo[candidate] = reject
+                result[candidate] = reject
+                continue
+            outcome = distance(candidate)
+            computed += 1
+            memo[candidate] = outcome
+            result[candidate] = outcome
+        self.computed += computed
+        counters.computed += computed
 
     def _verify_sorted(self, pending: list[str], result: dict[str, int]) -> None:
         """Shared-prefix banded DP over sorted, length-compatible candidates.
@@ -124,6 +236,7 @@ class BatchVerifier:
         """
         query = self.query
         memo = self._memo
+        counters = self.counters
         d = self.d
         m = len(query)
         infinity = d + 1
@@ -146,6 +259,7 @@ class BatchVerifier:
                 dead_depth = None
             del rows[shared + 1 :]
             self.computed += 1
+            counters.computed += 1
             outcome: int | None = None
             for i in range(len(rows), len(candidate) + 1):
                 row = self._extend_row(rows[i - 1], candidate[i - 1], i)
@@ -198,7 +312,14 @@ class VerifierPool:
 
     One pool per composite operator run (a join's probes, a top-N's
     deepening rounds) lets every probe touching the same query string
-    share one memo.
+    share one memo.  The pool is size-bounded: beyond ``max_verifiers``
+    live verifiers the least-recently-used one is evicted, which in a
+    long-lived service caps total memo growth.  Distance memos depend
+    only on the ``(query, candidate, d)`` strings — never on store
+    state — so eviction is always safe; an evicted pair is simply
+    recomputed on its next appearance.  ``hits`` / ``misses`` /
+    ``evictions`` count pool traffic, and every verifier shares one
+    :class:`KernelCounters`, so kernel-level totals survive eviction.
 
     :meth:`get` is thread-safe (the engine shares one pool across every
     operator context, and contexts may run fanned-out per-peer work);
@@ -206,20 +327,79 @@ class VerifierPool:
     stay on the caller's thread, as the fan-out contract requires.
     """
 
-    __slots__ = ("_verifiers", "_lock")
+    __slots__ = (
+        "_verifiers",
+        "_lock",
+        "kernel",
+        "max_verifiers",
+        "hits",
+        "misses",
+        "evictions",
+        "counters",
+    )
 
-    def __init__(self) -> None:
-        self._verifiers: dict[tuple[str, int], BatchVerifier] = {}
+    def __init__(
+        self,
+        kernel: EditKernel | str | None = None,
+        max_verifiers: int = DEFAULT_POOL_LIMIT,
+    ) -> None:
+        if max_verifiers < 1:
+            raise ValueError(
+                f"max_verifiers must be >= 1, got {max_verifiers}"
+            )
+        self._verifiers: OrderedDict[tuple[str, int], BatchVerifier] = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
+        self.kernel = resolve_kernel(kernel)
+        self.max_verifiers = max_verifiers
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.counters = KernelCounters()
 
     def get(self, query: str, d: int) -> BatchVerifier:
         key = (query, d)
         with self._lock:
             verifier = self._verifiers.get(key)
-            if verifier is None:
-                verifier = BatchVerifier(query, d)
-                self._verifiers[key] = verifier
+            if verifier is not None:
+                self.hits += 1
+                self._verifiers.move_to_end(key)
+                return verifier
+            self.misses += 1
+            verifier = BatchVerifier(
+                query, d, kernel=self.kernel, counters=self.counters
+            )
+            self._verifiers[key] = verifier
+            while len(self._verifiers) > self.max_verifiers:
+                self._verifiers.popitem(last=False)
+                self.evictions += 1
         return verifier
+
+    def memo_entries(self) -> int:
+        """Total memoized ``(query, candidate)`` pairs across live verifiers."""
+        with self._lock:
+            return sum(
+                len(verifier._memo) for verifier in self._verifiers.values()
+            )
+
+    def stats(self) -> dict[str, object]:
+        """Pool traffic, bounds, and aggregated kernel counters."""
+        with self._lock:
+            live = len(self._verifiers)
+            entries = sum(
+                len(verifier._memo) for verifier in self._verifiers.values()
+            )
+        return {
+            "kernel": self.kernel.name,
+            "verifiers": live,
+            "max_verifiers": self.max_verifiers,
+            "memo_entries": entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            **self.counters.as_dict(),
+        }
 
     def __len__(self) -> int:
         return len(self._verifiers)

@@ -96,9 +96,14 @@ class TestCli:
         assert cells[0]["adaptive_stats_messages"] > 0
         assert sum(cells[0]["adaptive_choices"].values()) > 0
         micro_doc = json.loads((tmp_path / "BENCH_micro.json").read_text())
-        assert micro_doc["schema"] == "repro-bench-micro/v2"
+        assert micro_doc["schema"] == "repro-bench-micro/v3"
         assert "gram_lookup_indexed" in micro_doc["ops"]
+        assert "verify_batched_myers" in micro_doc["ops"]
         assert "verify_batched_vs_single" in micro_doc["speedups"]
+        assert "verify_myers_vs_batched" in micro_doc["speedups"]
+        assert micro_doc["kernels"]["batched_pair"]["verify_batched"] == (
+            "reference"
+        )
         accuracy = micro_doc["cost_model"]
         assert set(accuracy["per_strategy"]) == {
             "qsamples", "qgrams", "strings",

@@ -1,0 +1,119 @@
+"""Property tests: the Myers kernel is equivalent to the reference DP.
+
+The kernel contract mirrors the verifier's: for every ``(a, b, d)``,
+``myers_within`` must return exactly what ``edit_distance_within``
+returns (which is itself property-tested against brute-force
+``edit_distance``).  Both bit-parallel variants are covered — the
+single-block path (queries <= 64 chars) and the multi-block carry path —
+over unicode alphabets, empty strings, ``d = 0`` and lengths straddling
+the 64-character word boundary.  The batch suite then pins the
+forced-kernel invariant the whole PR rests on: every kernel produces the
+identical ``distances()`` dict.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity.edit_distance import edit_distance, edit_distance_within
+from repro.similarity.kernels import (
+    MyersKernel,
+    MyersQuery,
+    ReferenceKernel,
+    myers_within,
+    numpy_available,
+)
+from repro.similarity.verify import BatchVerifier
+
+# Mixed-script alphabet: ASCII, accents, CJK, an astral-plane emoji.
+unicode_alphabet = "abz éß日本🙂 "
+short_texts = st.text(alphabet=unicode_alphabet, max_size=12)
+#: Long texts cross the 64-char block boundary (single- vs multi-block).
+long_texts = st.text(alphabet="abz ", min_size=50, max_size=140)
+distances = st.integers(min_value=0, max_value=5)
+
+
+def batch_kernels():
+    kernels = [ReferenceKernel(), MyersKernel(prefilter=False)]
+    if numpy_available():
+        kernels.append(MyersKernel(prefilter=True))
+    return kernels
+
+
+class TestMyersEquivalence:
+    @settings(max_examples=400)
+    @given(short_texts, short_texts, distances)
+    def test_short_matches_banded_dp(self, a, b, d):
+        assert myers_within(a, b, d) == edit_distance_within(a, b, d)
+
+    @settings(max_examples=150)
+    @given(long_texts, long_texts, distances)
+    def test_multiblock_matches_banded_dp(self, a, b, d):
+        assert myers_within(a, b, d) == edit_distance_within(a, b, d)
+
+    @settings(max_examples=150)
+    @given(short_texts, short_texts)
+    def test_exact_value_matches_brute_force(self, a, b):
+        true = edit_distance(a, b)
+        assert myers_within(a, b, true) == true
+        if true > 0:
+            # One below the true distance must saturate to the sentinel.
+            assert myers_within(a, b, true - 1) == true
+
+    @settings(max_examples=150)
+    @given(short_texts, st.lists(short_texts, max_size=10), distances)
+    def test_mask_state_is_reusable(self, query, candidates, d):
+        state = MyersQuery(query)
+        for candidate in candidates:
+            assert state.within(candidate, d) == edit_distance_within(
+                query, candidate, d
+            )
+
+    @settings(max_examples=100)
+    @given(st.text(alphabet="ab", min_size=60, max_size=70), distances)
+    def test_word_boundary_identity(self, a, d):
+        # Probes clustered exactly around the 64-char block edge.
+        for b in (a, a[:-1], a + "b", a[:32] + "z" + a[32:]):
+            assert myers_within(a, b, d) == edit_distance_within(a, b, d)
+
+
+class TestForcedKernelBatchIdentity:
+    @settings(max_examples=200)
+    @given(short_texts, st.lists(short_texts, max_size=20), distances)
+    def test_distances_identical_across_kernels(self, query, candidates, d):
+        results = [
+            BatchVerifier(query, d, kernel=kernel).distances(candidates)
+            for kernel in batch_kernels()
+        ]
+        for other in results[1:]:
+            assert other == results[0]
+
+    @settings(max_examples=60)
+    @given(long_texts, st.lists(long_texts, min_size=1, max_size=40), distances)
+    def test_multiblock_batches_identical_across_kernels(
+        self, query, candidates, d
+    ):
+        # Batches large enough to trip the shared-prefix fallback of the
+        # multi-block Myers kernel still agree with the reference.
+        results = [
+            BatchVerifier(query, d, kernel=kernel).distances(candidates)
+            for kernel in batch_kernels()
+        ]
+        for other in results[1:]:
+            assert other == results[0]
+
+    @settings(max_examples=100)
+    @given(short_texts, st.lists(short_texts, min_size=1, max_size=12), distances)
+    def test_interleaved_singles_and_batches_per_kernel(
+        self, query, candidates, d
+    ):
+        for kernel in batch_kernels():
+            verifier = BatchVerifier(query, d, kernel=kernel)
+            half = len(candidates) // 2
+            for candidate in candidates[:half]:
+                assert verifier.distance(candidate) == edit_distance_within(
+                    query, candidate, d
+                )
+            result = verifier.distances(candidates)
+            for candidate in candidates:
+                assert result[candidate] == edit_distance_within(
+                    query, candidate, d
+                )

@@ -1,0 +1,224 @@
+"""Unit tests for the bit-parallel verification kernels."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.similarity import kernels
+from repro.similarity.edit_distance import edit_distance, edit_distance_within
+from repro.similarity.kernels import (
+    KERNEL_ENV,
+    MyersKernel,
+    MyersQuery,
+    ReferenceKernel,
+    myers_within,
+    numpy_available,
+    resolve_kernel,
+)
+from repro.similarity.verify import BatchVerifier
+
+
+def pairs_straddling_word_boundary():
+    """(a, b) pairs whose query lengths bracket the 64-char block edge."""
+    base = "abcdefghij" * 13  # 130 chars
+    out = []
+    for m in (1, 63, 64, 65, 127, 128, 129):
+        a = base[:m]
+        out.append((a, a))
+        out.append((a, a[:-1] + "z"))
+        out.append((a, a[1:]))
+        out.append((a, "x" + a))
+        out.append((a, a[: m // 2] + "zz" + a[m // 2 :]))
+    return out
+
+
+class TestMyersWithin:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3])
+    def test_curated_short_pairs(self, d):
+        cases = [
+            ("", ""), ("", "a"), ("a", ""), ("a", "a"), ("a", "b"),
+            ("apple", "apply"), ("apple", "maple"), ("kitten", "sitting"),
+            ("abc", "abcabc"), ("zzzz", "aaaa"),
+        ]
+        for a, b in cases:
+            assert myers_within(a, b, d) == edit_distance_within(a, b, d)
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 5])
+    def test_word_boundary_pairs(self, d):
+        for a, b in pairs_straddling_word_boundary():
+            assert myers_within(a, b, d) == edit_distance_within(a, b, d), (
+                len(a), len(b), d
+            )
+
+    def test_unicode(self):
+        cases = [
+            ("héllo", "hello"), ("naïve", "naive"), ("日本語", "日本言"),
+            ("🙂🙃", "🙂"), ("ß" * 70, "ß" * 68 + "ss"),
+        ]
+        for a, b in cases:
+            for d in (0, 1, 2, 3):
+                assert myers_within(a, b, d) == edit_distance_within(a, b, d)
+
+    def test_negative_d_matches_reference_contract(self):
+        assert myers_within("same", "same", -1) == 0
+        assert myers_within("same", "diff", -1) == 1
+        assert edit_distance_within("same", "same", -1) == 0
+        assert edit_distance_within("same", "diff", -1) == 1
+
+    def test_sentinel_saturates(self):
+        assert myers_within("apple", "zzzzz", 2) == 3
+        assert myers_within("a" * 100, "b" * 100, 4) == 5
+
+    def test_exact_value_when_within(self):
+        assert myers_within("kitten", "sitting", 5) == edit_distance(
+            "kitten", "sitting"
+        )
+
+    def test_masks_reused_across_candidates(self):
+        state = MyersQuery("portrait of a young woman")
+        for text in ("portrait of a young woman", "portrait of a young womn",
+                     "portrait of young woman!!"):
+            assert state.within(text, 3) == edit_distance_within(
+                "portrait of a young woman", text, 3
+            )
+
+
+class TestResolveKernel:
+    def test_instance_passthrough(self):
+        kernel = ReferenceKernel()
+        assert resolve_kernel(kernel) is kernel
+
+    def test_names(self):
+        assert resolve_kernel("reference").name == "reference"
+        assert isinstance(resolve_kernel("myers"), MyersKernel)
+        assert isinstance(resolve_kernel("auto"), MyersKernel)
+        assert resolve_kernel(" MYERS ").name in ("myers", "myers+prefilter")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            resolve_kernel("fastest")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert isinstance(resolve_kernel(None), MyersKernel)
+        monkeypatch.setenv(KERNEL_ENV, "reference")
+        assert resolve_kernel(None).name == "reference"
+        monkeypatch.setenv(KERNEL_ENV, " Myers ")
+        assert isinstance(resolve_kernel(None), MyersKernel)
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "quantum")
+        with pytest.raises(ConfigError):
+            resolve_kernel(None)
+
+    def test_prefilter_gates_on_numpy(self):
+        assert MyersKernel(prefilter=True).prefilter == numpy_available()
+        assert MyersKernel(prefilter=False).prefilter is False
+        assert MyersKernel(prefilter=False).name == "myers"
+        if numpy_available():
+            assert MyersKernel().name == "myers+prefilter"
+
+
+class TestKernelBatches:
+    CANDIDATES = [
+        "apple", "apply", "ample", "maple", "apples", "applet", "appl",
+        "aple", "grape", "grapes", "grace", "trace", "track", "crack", "",
+        "banana", "band", "bandana", "bananas", "applicable", "application",
+        "zzzzz", "qqqqq", "wwwww", "mmmmm",
+    ] * 3
+
+    def reference_result(self, query, d):
+        return {
+            c: edit_distance_within(query, c, d) for c in self.CANDIDATES
+        }
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 3])
+    def test_flat_path_matches_reference(self, d):
+        verifier = BatchVerifier("apple", d, kernel=MyersKernel(prefilter=False))
+        assert verifier.distances(self.CANDIDATES) == self.reference_result(
+            "apple", d
+        )
+        assert verifier.counters.batches_flat == 1
+        assert verifier.counters.batches_shared == 0
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    @pytest.mark.parametrize("d", [0, 1, 2, 3])
+    def test_prefilter_path_matches_reference(self, d):
+        verifier = BatchVerifier("apple", d, kernel=MyersKernel(prefilter=True))
+        assert verifier.distances(self.CANDIDATES) == self.reference_result(
+            "apple", d
+        )
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_prefilter_rejections_counted_and_sound(self):
+        verifier = BatchVerifier("apple", 1, kernel=MyersKernel(prefilter=True))
+        result = verifier.distances(self.CANDIDATES)
+        assert verifier.counters.prefilter_rejected > 0
+        # Rejections are diagnostics only — values still exact.
+        assert result == self.reference_result("apple", 1)
+        # Prefilter-rejected candidates never count as computed.
+        distinct = len(set(self.CANDIDATES))
+        assert verifier.computed < distinct
+
+    def test_shared_fallback_for_long_queries(self):
+        query = "x" * 80  # multi-block
+        batch = [
+            "x" * 79 + suffix for suffix in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        ] + ["x" * 80, "x" * 81, "y" * 80, "z" * 80, "x" * 78, "x" * 82]
+        assert len(set(batch)) >= kernels.SHARED_FALLBACK_MIN_BATCH
+        verifier = BatchVerifier(query, 2, kernel=MyersKernel())
+        result = verifier.distances(batch)
+        assert verifier.counters.batches_shared == 1
+        assert result == {
+            c: edit_distance_within(query, c, 2) for c in batch
+        }
+
+    def test_small_multiblock_batch_stays_flat(self):
+        query = "x" * 80
+        verifier = BatchVerifier(query, 2, kernel=MyersKernel())
+        verifier.distances(["x" * 80, "x" * 79])
+        assert verifier.counters.batches_flat == 1
+
+    def test_degrades_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        kernel = MyersKernel(prefilter=True)
+        assert kernel.prefilter is False
+        assert kernel.name == "myers"
+        verifier = BatchVerifier("apple", 2, kernel=kernel)
+        assert verifier.distances(self.CANDIDATES) == self.reference_result(
+            "apple", 2
+        )
+        assert verifier.counters.prefilter_rejected == 0
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_surrogate_candidates_skip_prefilter_correctly(self):
+        # Lone surrogates cannot be UTF-32-encoded; the prefilter must
+        # step aside instead of raising, and results stay exact.
+        batch = ["appl\ud800", "apple", "apply"] * 4
+        verifier = BatchVerifier("apple", 2, kernel=MyersKernel(prefilter=True))
+        result = verifier.distances(batch)
+        for candidate in set(batch):
+            assert result[candidate] == edit_distance_within(
+                "apple", candidate, 2
+            )
+
+    def test_reference_kernel_uses_shared_path(self):
+        verifier = BatchVerifier("apple", 2, kernel=ReferenceKernel())
+        verifier.distances(self.CANDIDATES)
+        assert verifier.counters.batches_shared == 1
+        assert verifier.counters.batches_flat == 0
+
+
+class TestCounters:
+    def test_memo_hits_counted(self):
+        verifier = BatchVerifier("apple", 2)
+        verifier.distances(["apply", "ample"])
+        assert verifier.counters.memo_hits == 0
+        verifier.distances(["apply", "ample"])
+        assert verifier.counters.memo_hits == 2
+        verifier.distance("apply")
+        assert verifier.counters.memo_hits == 3
+
+    def test_computed_mirrors_attribute(self):
+        verifier = BatchVerifier("apple", 2)
+        verifier.distances(["apply", "ample", "zzzzzzzzzzzz"])
+        assert verifier.counters.computed == verifier.computed

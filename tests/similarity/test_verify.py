@@ -105,3 +105,60 @@ class TestVerifierPool:
         assert pool.get("apple", 2) is not pool.get("apple", 3)
         assert pool.get("apple", 2) is not pool.get("grape", 2)
         assert len(pool) == 3
+
+    def test_hit_miss_counters(self):
+        pool = VerifierPool()
+        pool.get("apple", 2)
+        pool.get("apple", 2)
+        pool.get("grape", 2)
+        assert pool.misses == 2
+        assert pool.hits == 1
+
+    def test_lru_eviction_beyond_limit(self):
+        pool = VerifierPool(max_verifiers=2)
+        pool.get("a", 1)
+        pool.get("b", 1)
+        pool.get("a", 1)  # refresh 'a' — 'b' becomes LRU
+        pool.get("c", 1)  # evicts 'b'
+        assert len(pool) == 2
+        assert pool.evictions == 1
+        first_b = pool.get("b", 1)  # recomputed, not a correctness event
+        assert first_b.distance("b") == 0
+        assert pool.evictions == 2  # 'a' went this time
+
+    def test_eviction_is_safe_to_recompute(self):
+        pool = VerifierPool(max_verifiers=1)
+        before = pool.get("apple", 2).distances(WORDS)
+        pool.get("grape", 2)  # evicts the 'apple' verifier
+        after = pool.get("apple", 2).distances(WORDS)
+        assert after == before
+
+    def test_counters_survive_eviction(self):
+        pool = VerifierPool(max_verifiers=1)
+        pool.get("apple", 2).distances(WORDS)
+        computed = pool.counters.computed
+        assert computed > 0
+        pool.get("grape", 2).distances(WORDS)
+        assert pool.counters.computed > computed
+
+    def test_stats_payload(self):
+        pool = VerifierPool(max_verifiers=8)
+        pool.get("apple", 2).distances(WORDS)
+        stats = pool.stats()
+        assert stats["verifiers"] == 1
+        assert stats["max_verifiers"] == 8
+        assert stats["memo_entries"] == len(set(WORDS))
+        assert stats["misses"] == 1
+        assert stats["kernel"] == pool.kernel.name
+        assert stats["computed"] > 0
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            VerifierPool(max_verifiers=0)
+
+    def test_pool_kernel_is_shared_by_verifiers(self):
+        from repro.similarity.kernels import ReferenceKernel
+
+        kernel = ReferenceKernel()
+        pool = VerifierPool(kernel=kernel)
+        assert pool.get("apple", 2).kernel is kernel

@@ -114,6 +114,30 @@ def check_micro_v2(data: dict) -> None:
     _need(data, "speedups", dict, "$")
 
 
+def check_micro_v3(data: dict) -> None:
+    """v2 plus the kernel op pairs and the ``kernels`` identity section."""
+    check_micro_v2(data)
+    ops = data["ops"]
+    for name in (
+        "verify_batched",
+        "verify_batched_myers",
+        "edit_distance_banded",
+        "edit_distance_myers",
+    ):
+        _need(ops, name, dict, "ops")
+    kernels = _need(data, "kernels", dict, "$")
+    _need(kernels, "default", str, "kernels")
+    _need(kernels, "batched_pair", dict, "kernels")
+    _need(kernels, "numpy_prefilter", bool, "kernels")
+    speedups = data["speedups"]
+    _need_keys(
+        speedups,
+        ("verify_myers_vs_batched", "edit_distance_myers_vs_banded"),
+        NUMBER,
+        "speedups",
+    )
+
+
 def check_fault_v1(data: dict) -> None:
     scale = _need(data, "scale", dict, "$")
     _need_keys(
@@ -235,6 +259,7 @@ def check_mutate_v1(data: dict) -> None:
 VALIDATORS = {
     "repro-bench-fig1/v4": check_fig1_v4,
     "repro-bench-micro/v2": check_micro_v2,
+    "repro-bench-micro/v3": check_micro_v3,
     "repro-bench-fault/v1": check_fault_v1,
     "repro-bench-serve/v1": check_serve_v1,
     "repro-bench-mutate/v1": check_mutate_v1,
